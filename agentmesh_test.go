@@ -1,0 +1,205 @@
+package agentmesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMappingNetworkShape(t *testing.T) {
+	w, err := MappingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 300 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if w.Dynamic() {
+		t.Fatal("mapping network should be static")
+	}
+	if DescribeNetwork(w) == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestRoutingNetworkShape(t *testing.T) {
+	w, err := RoutingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 250 || len(w.Gateways()) != 12 {
+		t.Fatalf("N=%d gateways=%d", w.N(), len(w.Gateways()))
+	}
+	if !w.Dynamic() {
+		t.Fatal("routing network should be dynamic")
+	}
+}
+
+func TestGenerateNetworkCustom(t *testing.T) {
+	w, err := GenerateNetwork(NetworkSpec{
+		N: 40, TargetEdges: 200, ArenaSide: 30, RangeSpread: 0.2,
+		RequireStrong: true,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 40 {
+		t.Fatalf("N = %d", w.N())
+	}
+}
+
+func TestEndToEndMapping(t *testing.T) {
+	w, err := GenerateNetwork(NetworkSpec{
+		N: 50, TargetEdges: 300, ArenaSide: 40, RangeSpread: 0.25,
+		RequireStrong: true,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMapping(w, MappingScenario{
+		Agents: 5, Kind: PolicyConscientious, Cooperate: true, Stigmergy: true,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("mapping did not finish")
+	}
+	batch, err := RunMappingBatch(func(int) (*World, error) { return w, nil },
+		MappingScenario{Agents: 5, Kind: PolicyConscientious, Cooperate: true}, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Completed != 3 {
+		t.Fatalf("batch completed %d/3", batch.Completed)
+	}
+}
+
+func TestEndToEndRouting(t *testing.T) {
+	spec := NetworkSpec{
+		N: 80, TargetEdges: 560, ArenaSide: 60, RangeSpread: 0.25,
+		Mobility: MobilityRandom, MobileFraction: 0.5,
+		MinSpeed: 0.1, MaxSpeed: 0.5, Gateways: 6, RangeBoost: 1.5,
+	}
+	w, err := GenerateNetwork(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRouting(w, RoutingScenario{
+		Agents: 25, Kind: PolicyOldestNode, Steps: 150,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean <= 0 {
+		t.Fatalf("connectivity = %v", res.Mean)
+	}
+	batch, err := RunRoutingBatch(
+		func(int) (*World, error) { return GenerateNetwork(spec, 3) },
+		RoutingScenario{Agents: 25, Kind: PolicyOldestNode, Steps: 150}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Mean.N != 3 {
+		t.Fatalf("batch runs = %d", batch.Mean.N)
+	}
+}
+
+func TestFigureFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	ids := Figures()
+	if len(ids) != 22 {
+		t.Fatalf("figures = %v", ids)
+	}
+	rep, err := Figure("fig3", ExperimentConfig{Runs: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig3" || len(rep.Checks) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := Figure("nope", ExperimentConfig{}); err == nil {
+		t.Fatal("bad figure id accepted")
+	}
+}
+
+func TestSaveLoadNetwork(t *testing.T) {
+	w, err := GenerateNetwork(NetworkSpec{
+		N: 30, TargetEdges: 150, ArenaSide: 25, RangeSpread: 0.2,
+		Gateways: 2, RangeBoost: 1.5,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveNetwork(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != 30 || len(loaded.Gateways()) != 2 {
+		t.Fatalf("loaded N=%d gateways=%d", loaded.N(), len(loaded.Gateways()))
+	}
+	if !loaded.Topology().Equal(w.Topology()) {
+		t.Fatal("topology changed through save/load")
+	}
+	if _, err := LoadNetwork(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestVizFacade(t *testing.T) {
+	if s := Sparkline([]float64{0, 1}, 10); len([]rune(s)) != 2 {
+		t.Fatalf("Sparkline = %q", s)
+	}
+	out := ChartSeries([]string{"a"}, [][]float64{{0, 0.5, 1}}, 20, 5)
+	if !strings.Contains(out, "a") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+}
+
+func TestTrafficGenFacade(t *testing.T) {
+	spec := NetworkSpec{
+		N: 60, TargetEdges: 420, ArenaSide: 50, RangeSpread: 0.25,
+		Gateways: 4, RangeBoost: 1.5,
+	}
+	w, err := GenerateNetwork(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewTrafficGen(2, 32, 20, 9)
+	res, err := RunRouting(w, RoutingScenario{
+		Agents: 20, Kind: PolicyOldestNode, Steps: 100, Observer: gen.Step,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := gen.Stats()
+	if st.Injected == 0 {
+		t.Fatal("no packets injected")
+	}
+	if res.Mean <= 0 {
+		t.Fatal("no connectivity")
+	}
+}
+
+func TestMobilityConstantsDistinct(t *testing.T) {
+	kinds := map[int]bool{
+		int(MobilityNone): true, int(MobilityConstant): true,
+		int(MobilityRandom): true, int(MobilityWaypoint): true,
+	}
+	if len(kinds) != 4 {
+		t.Fatal("mobility constants collide")
+	}
+	policies := map[int]bool{
+		int(PolicyRandom): true, int(PolicyConscientious): true,
+		int(PolicySuperConscientious): true, int(PolicyOldestNode): true,
+	}
+	if len(policies) != 4 {
+		t.Fatal("policy constants collide")
+	}
+}

@@ -1,0 +1,192 @@
+// Benchmarks: one per paper figure/extension, each iterating a single
+// representative run of that experiment's workload at paper scale. They
+// measure the cost of regenerating the result, not the statistics — the
+// `figures` command does the 40-run aggregation.
+package agentmesh_test
+
+import (
+	"testing"
+
+	agentmesh "repro"
+)
+
+// mapWorld returns the shared canonical mapping network.
+func mapWorld(b *testing.B) *agentmesh.World {
+	b.Helper()
+	w, err := agentmesh.MappingNetwork(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchMapping runs one mapping run per iteration.
+func benchMapping(b *testing.B, sc agentmesh.MappingScenario) {
+	w := mapWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := agentmesh.RunMapping(w, sc, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Finished {
+			b.Fatal("run did not finish")
+		}
+	}
+}
+
+// benchRouting runs one 300-step routing run per iteration on a fresh
+// world (the world trace is identical every time, as in the paper).
+func benchRouting(b *testing.B, sc agentmesh.RoutingScenario) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := agentmesh.RoutingNetwork(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agentmesh.RunRouting(w, sc, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1SingleAgentMinar(b *testing.B) {
+	benchMapping(b, agentmesh.MappingScenario{Agents: 1, Kind: agentmesh.PolicyConscientious})
+}
+
+func BenchmarkFig2SingleAgentStigmergy(b *testing.B) {
+	benchMapping(b, agentmesh.MappingScenario{Agents: 1, Kind: agentmesh.PolicyConscientious, Stigmergy: true})
+}
+
+func BenchmarkFig3Cooperation(b *testing.B) {
+	benchMapping(b, agentmesh.MappingScenario{Agents: 15, Kind: agentmesh.PolicyConscientious, Cooperate: true})
+}
+
+func BenchmarkFig4CooperationStigmergy(b *testing.B) {
+	benchMapping(b, agentmesh.MappingScenario{
+		Agents: 15, Kind: agentmesh.PolicyConscientious, Cooperate: true, Stigmergy: true,
+	})
+}
+
+func BenchmarkFig5SuperVsConscientious(b *testing.B) {
+	// The expensive end of the Fig 5 sweep: 40 super-conscientious agents
+	// whose meetings merge knowledge every step.
+	benchMapping(b, agentmesh.MappingScenario{
+		Agents: 40, Kind: agentmesh.PolicySuperConscientious, Cooperate: true,
+	})
+}
+
+func BenchmarkFig6SuperStigmergy(b *testing.B) {
+	benchMapping(b, agentmesh.MappingScenario{
+		Agents: 40, Kind: agentmesh.PolicySuperConscientious, Cooperate: true, Stigmergy: true,
+	})
+}
+
+func BenchmarkFig7OldestNodeConnectivity(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{Agents: 100, Kind: agentmesh.PolicyOldestNode})
+}
+
+func BenchmarkFig8PopulationSweep(b *testing.B) {
+	// The expensive end of the Fig 8 sweep.
+	benchRouting(b, agentmesh.RoutingScenario{Agents: 200, Kind: agentmesh.PolicyOldestNode})
+}
+
+func BenchmarkFig9HistorySweep(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, HistorySize: 64,
+	})
+}
+
+func BenchmarkFig10RandomComm(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyRandom, Communicate: true,
+	})
+}
+
+func BenchmarkFig11OldestComm(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+	})
+}
+
+func BenchmarkExtStigmergicRouting(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true, Stigmergy: true,
+	})
+}
+
+func BenchmarkExtEpsilonSuper(b *testing.B) {
+	benchMapping(b, agentmesh.MappingScenario{
+		Agents: 40, Kind: agentmesh.PolicySuperConscientious, Cooperate: true, Epsilon: 0.2,
+	})
+}
+
+func BenchmarkExtBaselines(b *testing.B) {
+	// Regenerating the overhead comparison is dominated by the network
+	// generation plus one flooding pass; measure via the Figure API.
+	if testing.Short() {
+		b.Skip("extC regenerates multiple settings per iteration")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := agentmesh.Figure("extC", agentmesh.ExperimentConfig{Runs: 1, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtDelivery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := agentmesh.RoutingNetwork(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := agentmesh.NewTrafficGen(5, 64, 100, uint64(i))
+		sc := agentmesh.RoutingScenario{
+			Agents: 100, Kind: agentmesh.PolicyOldestNode, Observer: gen.Step,
+		}
+		if _, err := agentmesh.RunRouting(w, sc, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetworkGenerationMapping300(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := agentmesh.MappingNetwork(uint64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetworkGenerationRouting250(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := agentmesh.RoutingNetwork(uint64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelVsSequentialMapping(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := mapWorld(b)
+			sc := agentmesh.MappingScenario{
+				Agents: 40, Kind: agentmesh.PolicyConscientious,
+				Cooperate: true, Workers: workers,
+			}
+			if workers == 0 {
+				sc.Workers = 8
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := agentmesh.RunMapping(w, sc, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

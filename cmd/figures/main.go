@@ -1,0 +1,114 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures -fig 1            # reproduce Figure 1
+//	figures -fig extA         # run the stigmergic-routing extension
+//	figures -all              # everything, in order
+//	figures -all -quick       # fast smoke pass (8 runs, smaller sweeps)
+//	figures -fig 7 -tsv out/  # also write plottable TSV series
+//
+// Every experiment prints the regenerated results table and a set of
+// "shape checks" comparing the outcome with the paper's qualitative
+// claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to reproduce: 1..11, A..E (or fig1..extE); empty with -all for everything")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "fast smoke pass (fewer runs, smaller sweeps)")
+		runs    = flag.Int("runs", 0, "independent runs per setting (default 40, paper-faithful)")
+		seed    = flag.Uint64("seed", 1, "root seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "simulation workers (1 = sequential)")
+		tsvDir  = flag.String("tsv", "", "directory to write per-figure TSV series into")
+		mdFile  = flag.String("md", "", "append Markdown sections for each experiment to this file")
+		list    = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-6s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		ids = []string{experiments.NormalizeID(*fig)}
+	default:
+		fmt.Fprintln(os.Stderr, "figures: pass -fig <id> or -all (use -list to see experiments)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{
+		Runs:    *runs,
+		Seed:    *seed,
+		Workers: *workers,
+		Quick:   *quick,
+	}
+	var md *os.File
+	if *mdFile != "" {
+		var err error
+		md, err = os.Create(*mdFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		defer md.Close()
+		fmt.Fprintf(md, "# Reproduction report (seed=%d)\n\n", cfg.Seed)
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		for _, c := range rep.Checks {
+			if !c.OK && !c.Known {
+				failed++
+			}
+		}
+		if md != nil {
+			if _, err := md.WriteString(rep.Markdown()); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *tsvDir != "" && len(rep.Series) > 0 {
+			if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*tsvDir, id+".tsv")
+			if err := os.WriteFile(path, []byte(rep.TSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d shape check(s) deviated from the paper\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command mapping runs the network-mapping scenario with full parameter
+// control — the knob-level companion to `figures`, which reproduces the
+// paper's exact settings.
+//
+// Examples:
+//
+//	mapping -agents 15 -policy conscientious -cooperate -stigmergy
+//	mapping -agents 1  -policy random -runs 10 -curve
+//	mapping -nodes 100 -edges 700 -agents 8 -policy super -epsilon 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 300, "network size")
+		edges     = flag.Int("edges", 2164, "target directed edge count")
+		arena     = flag.Float64("arena", 100, "arena side length")
+		spread    = flag.Float64("spread", 0.25, "radio range spread (0 = homogeneous)")
+		agents    = flag.Int("agents", 15, "agent population")
+		policy    = flag.String("policy", "conscientious", "random | conscientious | super")
+		cooperate = flag.Bool("cooperate", true, "exchange topology knowledge when agents meet")
+		stigmergy = flag.Bool("stigmergy", false, "leave and respect footprints")
+		epsilon   = flag.Float64("epsilon", 0, "probability of a random move (Minar's fix)")
+		memory    = flag.Int("memory", 0, "visit-memory bound (0 = unbounded)")
+		runs      = flag.Int("runs", 40, "independent runs")
+		seed      = flag.Uint64("seed", 1, "root seed (network and placements)")
+		maxSteps  = flag.Int("maxsteps", 200000, "per-run step budget")
+		workers   = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		curve     = flag.Bool("curve", false, "print the averaged knowledge curve as TSV")
+		traceFile = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+	)
+	flag.Parse()
+
+	kind, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapping:", err)
+		os.Exit(2)
+	}
+	w, err := netgen.Generate(netgen.Spec{
+		N: *nodes, TargetEdges: *edges, ArenaSide: *arena,
+		RangeSpread: *spread, RequireStrong: true,
+	}, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapping:", err)
+		os.Exit(1)
+	}
+	fmt.Println("network:", netgen.Describe(w))
+
+	sc := mapping.Scenario{
+		Agents:        *agents,
+		Kind:          kind,
+		Cooperate:     *cooperate,
+		Stigmergy:     *stigmergy,
+		Epsilon:       *epsilon,
+		VisitCapacity: *memory,
+		MaxSteps:      *maxSteps,
+		Workers:       *workers,
+	}
+	if *traceFile != "" {
+		if err := traceOneRun(*traceFile, w, sc, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "mapping:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace of one run written to %s\n", *traceFile)
+	}
+	agg, err := mapping.RunMany(func(int) (*network.World, error) { return w, nil }, sc, *runs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapping:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("agents=%d policy=%s cooperate=%v stigmergy=%v epsilon=%v runs=%d\n",
+		*agents, kind, *cooperate, *stigmergy, *epsilon, *runs)
+	fmt.Printf("finishing time: %s\n", agg.Finish)
+	fmt.Printf("completed runs: %d/%d\n", agg.Completed, agg.Runs)
+	fmt.Printf("overhead: moves=%d meetings=%d topo-records=%d marks=%d\n",
+		agg.Overhead.Moves, agg.Overhead.Meetings,
+		agg.Overhead.TopoRecordsReceived, agg.Overhead.MarksLeft)
+
+	if *curve {
+		fmt.Println("\nstep\tavg-knowledge\tslowest-agent")
+		avg := stats.Downsample(agg.AvgCurve, downsampleStride(len(agg.AvgCurve)))
+		min := stats.Downsample(agg.AvgMinCurve, downsampleStride(len(agg.AvgMinCurve)))
+		stride := downsampleStride(len(agg.AvgCurve))
+		for i := range avg {
+			m := 0.0
+			if i < len(min) {
+				m = min[i]
+			}
+			fmt.Printf("%d\t%.4f\t%.4f\n", i*stride, avg[i], m)
+		}
+	}
+}
+
+// downsampleStride keeps curve printouts under ~200 lines.
+func downsampleStride(n int) int {
+	stride := n / 200
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
+// traceOneRun executes a single sequential run with tracing into path.
+func traceOneRun(path string, w *network.World, sc mapping.Scenario, seed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw := trace.NewWriter(f)
+	sc.Tracer = tw
+	sc.Workers = 1 // sequential: reproducible trace
+	if _, err := mapping.Run(w, sc, seed); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+func parsePolicy(s string) (core.PolicyKind, error) {
+	switch s {
+	case "random":
+		return core.PolicyRandom, nil
+	case "conscientious":
+		return core.PolicyConscientious, nil
+	case "super", "super-conscientious":
+		return core.PolicySuperConscientious, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want random, conscientious, super)", s)
+	}
+}

@@ -1,0 +1,117 @@
+// Command netgen synthesises and inspects the wireless worlds the
+// experiments run on.
+//
+// Examples:
+//
+//	netgen -preset mapping                 # the 300-node mapping network
+//	netgen -preset routing -steps 100      # MANET, evolved 100 steps
+//	netgen -nodes 120 -edges 960 -gateways 8 -dot > world.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netgen"
+	"repro/internal/network"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "mapping | routing (overrides size flags)")
+		nodes    = flag.Int("nodes", 100, "network size")
+		edges    = flag.Int("edges", 700, "target directed edge count")
+		arena    = flag.Float64("arena", 100, "arena side length")
+		spread   = flag.Float64("spread", 0.25, "radio range spread")
+		gateways = flag.Int("gateways", 0, "gateway count")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		steps    = flag.Int("steps", 0, "evolve the world this many steps before reporting")
+		dot      = flag.Bool("dot", false, "emit the topology as Graphviz DOT on stdout")
+		save     = flag.String("save", "", "write a JSON snapshot of the world to this file")
+		load     = flag.String("load", "", "load a JSON snapshot instead of generating")
+	)
+	flag.Parse()
+
+	var spec netgen.Spec
+	switch *preset {
+	case "mapping":
+		spec = netgen.Mapping300()
+	case "routing":
+		spec = netgen.Routing250()
+	case "":
+		spec = netgen.Spec{
+			N: *nodes, TargetEdges: *edges, ArenaSide: *arena,
+			RangeSpread: *spread, Gateways: *gateways, RangeBoost: 1.5,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "netgen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	var w *network.World
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", ferr)
+			os.Exit(1)
+		}
+		w, err = network.ReadSnapshot(f)
+		f.Close()
+	} else {
+		w, err = netgen.Generate(spec, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+	for i := 0; i < *steps; i++ {
+		w.Step()
+	}
+	fmt.Fprintln(os.Stderr, netgen.Describe(w))
+	fmt.Fprintf(os.Stderr, "physical gateway connectivity: %.3f\n", w.ConnectivityToGateways())
+
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", ferr)
+			os.Exit(1)
+		}
+		if err := network.WriteSnapshot(w, f); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *save)
+	}
+
+	if *dot {
+		emitDOT(w)
+	}
+}
+
+// emitDOT writes the current topology as a Graphviz digraph with node
+// positions, suitable for neato -n.
+func emitDOT(w *network.World) {
+	fmt.Println("digraph world {")
+	fmt.Println("  node [shape=point];")
+	for u := 0; u < w.N(); u++ {
+		p := w.Pos(network.NodeID(u))
+		attrs := fmt.Sprintf("pos=\"%.1f,%.1f!\"", p.X, p.Y)
+		if w.IsGateway(network.NodeID(u)) {
+			attrs += ", color=red, shape=circle, width=0.3"
+		}
+		fmt.Printf("  n%d [%s];\n", u, attrs)
+	}
+	g := w.Topology()
+	for u := 0; u < w.N(); u++ {
+		for _, v := range g.Out(network.NodeID(u)) {
+			fmt.Printf("  n%d -> n%d;\n", u, v)
+		}
+	}
+	fmt.Println("}")
+}

@@ -1,0 +1,147 @@
+// Command routing runs the dynamic-routing scenario with full parameter
+// control — the knob-level companion to `figures`.
+//
+// Examples:
+//
+//	routing -agents 100 -policy oldest
+//	routing -agents 100 -policy oldest -communicate          # Fig 11's pathology
+//	routing -agents 100 -policy oldest -communicate -stigmergy
+//	routing -agents 50 -history 8 -curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		nodes       = flag.Int("nodes", 250, "network size")
+		edges       = flag.Int("edges", 2000, "target directed edge count")
+		gateways    = flag.Int("gateways", 12, "gateway count")
+		mobile      = flag.Float64("mobile", 0.5, "fraction of non-gateway nodes that move")
+		minSpeed    = flag.Float64("minspeed", 0.1, "minimum node speed")
+		maxSpeed    = flag.Float64("maxspeed", 0.5, "maximum node speed")
+		agents      = flag.Int("agents", 100, "agent population")
+		policy      = flag.String("policy", "oldest", "random | oldest")
+		communicate = flag.Bool("communicate", false, "exchange best route when agents meet")
+		stigmergy   = flag.Bool("stigmergy", false, "leave and respect footprints")
+		history     = flag.Int("history", 32, "agent history size (trail + visit memory)")
+		steps       = flag.Int("steps", 300, "steps per run")
+		runs        = flag.Int("runs", 40, "independent runs")
+		seed        = flag.Uint64("seed", 1, "root seed (world trace and placements)")
+		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		curve       = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
+		traceFile   = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+	)
+	flag.Parse()
+
+	kind, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routing:", err)
+		os.Exit(2)
+	}
+	spec := netgen.Routing250()
+	spec.N = *nodes
+	spec.TargetEdges = *edges
+	spec.Gateways = *gateways
+	spec.MobileFraction = *mobile
+	spec.MinSpeed = *minSpeed
+	spec.MaxSpeed = *maxSpeed
+
+	worldFor := func(int) (*network.World, error) { return netgen.Generate(spec, *seed) }
+	w, err := worldFor(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routing:", err)
+		os.Exit(1)
+	}
+	fmt.Println("network:", netgen.Describe(w))
+
+	sc := routing.Scenario{
+		Agents:      *agents,
+		Kind:        kind,
+		Communicate: *communicate,
+		Stigmergy:   *stigmergy,
+		HistorySize: *history,
+		Steps:       *steps,
+		Workers:     *workers,
+	}
+	if *traceFile != "" {
+		if err := traceOneRun(*traceFile, worldFor, sc, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "routing:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace of one run written to %s\n", *traceFile)
+	}
+	agg, err := routing.RunMany(worldFor, sc, *runs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routing:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("agents=%d policy=%s communicate=%v stigmergy=%v history=%d runs=%d\n",
+		*agents, kind, *communicate, *stigmergy, *history, *runs)
+	fmt.Printf("connectivity (post-convergence): %s\n", agg.Mean)
+	fmt.Printf("end-to-end connectivity: %s\n", agg.EndToEnd)
+	fmt.Printf("within-run stability (std): %.4f\n", agg.Stability)
+	fmt.Printf("overhead: moves=%d meetings=%d deposits=%d adoptions=%d marks=%d\n",
+		agg.Overhead.Moves, agg.Overhead.Meetings, agg.Overhead.RouteDeposits,
+		agg.Overhead.TrailAdoptions, agg.Overhead.MarksLeft)
+
+	if *curve {
+		fmt.Println("\nstep\tconnectivity\tphysical-upper-bound")
+		stride := len(agg.AvgSeries) / 200
+		if stride < 1 {
+			stride = 1
+		}
+		conn := stats.Downsample(agg.AvgSeries, stride)
+		ideal := stats.Downsample(agg.AvgIdeal, stride)
+		for i := range conn {
+			id := 0.0
+			if i < len(ideal) {
+				id = ideal[i]
+			}
+			fmt.Printf("%d\t%.4f\t%.4f\n", i*stride, conn[i], id)
+		}
+	}
+}
+
+// traceOneRun executes a single sequential run with tracing into path.
+func traceOneRun(path string, worldFor func(int) (*network.World, error), sc routing.Scenario, seed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := worldFor(0)
+	if err != nil {
+		return err
+	}
+	tw := trace.NewWriter(f)
+	sc.Tracer = tw
+	sc.Workers = 1 // sequential: reproducible trace
+	if _, err := routing.Run(w, sc, seed); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+func parsePolicy(s string) (core.PolicyKind, error) {
+	switch s {
+	case "random":
+		return core.PolicyRandom, nil
+	case "oldest", "oldest-node":
+		return core.PolicyOldestNode, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want random, oldest)", s)
+	}
+}

@@ -1,0 +1,155 @@
+// Command sweep runs one scenario across a swept parameter and emits CSV,
+// the workhorse for custom parameter studies beyond the paper's figures.
+//
+// Examples:
+//
+//	sweep -scenario routing -param agents  -values 10,25,50,100,200
+//	sweep -scenario routing -param history -values 4,8,16,32 -communicate
+//	sweep -scenario mapping -param agents  -values 1,2,5,10,20 -stigmergy
+//	sweep -scenario mapping -param epsilon -values 0,0.1,0.2 -policy super
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/routing"
+)
+
+func main() {
+	var (
+		scenario    = flag.String("scenario", "routing", "mapping | routing")
+		param       = flag.String("param", "agents", "mapping: agents|epsilon|memory; routing: agents|history")
+		values      = flag.String("values", "", "comma-separated sweep values (required)")
+		policy      = flag.String("policy", "", "agent policy (default: conscientious / oldest)")
+		cooperate   = flag.Bool("cooperate", true, "mapping: exchange maps in meetings")
+		communicate = flag.Bool("communicate", false, "routing: exchange best route in meetings")
+		stigmergy   = flag.Bool("stigmergy", false, "use footprints")
+		runs        = flag.Int("runs", 10, "independent runs per value")
+		seed        = flag.Uint64("seed", 1, "root seed")
+		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+	)
+	flag.Parse()
+	if *values == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -values is required")
+		os.Exit(2)
+	}
+	vals, err := parseValues(*values)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
+	switch *scenario {
+	case "mapping":
+		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, *runs, *seed, *workers)
+	case "routing":
+		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, *runs, *seed, *workers)
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseValues(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func sweepMapping(param string, vals []float64, policy string, cooperate, stigmergy bool, runs int, seed uint64, workers int) error {
+	kind := core.PolicyConscientious
+	switch policy {
+	case "", "conscientious":
+	case "random":
+		kind = core.PolicyRandom
+	case "super", "super-conscientious":
+		kind = core.PolicySuperConscientious
+	default:
+		return fmt.Errorf("unknown mapping policy %q", policy)
+	}
+	w, err := netgen.Generate(netgen.Mapping300(), seed)
+	if err != nil {
+		return err
+	}
+	static := func(int) (*network.World, error) { return w, nil }
+	fmt.Printf("%s,finish_mean,finish_ci95,finish_min,finish_max,completed,runs\n", param)
+	for _, v := range vals {
+		sc := mapping.Scenario{
+			Agents: 15, Kind: kind, Cooperate: cooperate, Stigmergy: stigmergy,
+			MaxSteps: 200000, Workers: workers,
+		}
+		switch param {
+		case "agents":
+			sc.Agents = int(v)
+		case "epsilon":
+			sc.Epsilon = v
+		case "memory":
+			sc.VisitCapacity = int(v)
+		default:
+			return fmt.Errorf("unknown mapping param %q", param)
+		}
+		agg, err := mapping.RunMany(static, sc, runs, seed+uint64(v*1000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d\n",
+			v, agg.Finish.Mean, agg.Finish.CI, agg.Finish.Min, agg.Finish.Max,
+			agg.Completed, agg.Runs)
+	}
+	return nil
+}
+
+func sweepRouting(param string, vals []float64, policy string, communicate, stigmergy bool, runs int, seed uint64, workers int) error {
+	kind := core.PolicyOldestNode
+	switch policy {
+	case "", "oldest", "oldest-node":
+	case "random":
+		kind = core.PolicyRandom
+	default:
+		return fmt.Errorf("unknown routing policy %q", policy)
+	}
+	worldFor := func(int) (*network.World, error) {
+		return netgen.Generate(netgen.Routing250(), seed)
+	}
+	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,runs\n", param)
+	for _, v := range vals {
+		sc := routing.Scenario{
+			Agents: 100, Kind: kind, Communicate: communicate, Stigmergy: stigmergy,
+			Workers: workers,
+		}
+		switch param {
+		case "agents":
+			sc.Agents = int(v)
+		case "history":
+			sc.HistorySize = int(v)
+		default:
+			return fmt.Errorf("unknown routing param %q", param)
+		}
+		agg, err := routing.RunMany(worldFor, sc, runs, seed+uint64(v*1000))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%g,%.4f,%.4f,%.4f,%.4f,%d\n",
+			v, agg.Mean.Mean, agg.Mean.CI, agg.EndToEnd.Mean, agg.Stability, agg.Runs)
+	}
+	return nil
+}

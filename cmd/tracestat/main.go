@@ -1,0 +1,98 @@
+// Command tracestat summarises a JSONL simulation trace produced by
+// `mapping -trace` or `routing -trace`: event counts, meeting-size
+// distribution, per-agent activity, and the measurement curve as a
+// sparkline.
+//
+//	go run ./cmd/routing -runs 1 -trace run.jsonl
+//	go run ./cmd/tracestat run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	s := replay.Summarize(events)
+	fmt.Println(s)
+	fmt.Println()
+
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-8s %d\n", k, s.ByKind[trace.Kind(k)])
+	}
+
+	if sizes, counts := s.MeetingSizesSorted(); len(sizes) > 0 {
+		fmt.Println("\nmeeting sizes:")
+		labels := make([]string, len(sizes))
+		values := make([]float64, len(sizes))
+		for i, sz := range sizes {
+			labels[i] = fmt.Sprintf("%d agents", sz)
+			values[i] = float64(counts[i])
+		}
+		fmt.Print(viz.Bars(labels, values, 40))
+	}
+
+	if agents, total, min, max := s.MoveStats(); agents > 0 {
+		fmt.Printf("\nagent activity: %d agents moved %d times (min %d, max %d per agent)\n",
+			agents, total, min, max)
+	}
+
+	if deposits := replay.DepositsPerStep(events); len(deposits) > 0 {
+		series := make([]float64, len(deposits))
+		peak := 0.0
+		for i, d := range deposits {
+			series[i] = float64(d)
+			if series[i] > peak {
+				peak = series[i]
+			}
+		}
+		if peak > 0 {
+			for i := range series {
+				series[i] /= peak
+			}
+		}
+		fmt.Printf("\ndeposits per step (peak %d):\n%s\n", int(peak), viz.Sparkline(series, 75))
+	}
+
+	if len(s.Measures) > 0 {
+		name := s.MeasureName
+		if name == "" {
+			name = "measurement"
+		}
+		fmt.Printf("\n%s curve (%d points):\n%s\n",
+			name, len(s.Measures), viz.Sparkline(s.Measures, 75))
+		fmt.Printf("final value: %.3f\n", s.Measures[len(s.Measures)-1])
+	}
+	if s.FinishStep >= 0 {
+		fmt.Printf("\nrun finished at step %d\n", s.FinishStep)
+	}
+}

@@ -1,0 +1,84 @@
+// Command watch renders a routing run as animated terminal frames: the
+// arena as a heat map of which nodes currently hold a live gateway route
+// (gateways drawn as G), with the connectivity sparkline underneath. It
+// is the closest thing this reproduction has to the paper's Java
+// "graphical view".
+//
+//	go run ./cmd/watch                       # defaults: 100 oldest-node agents
+//	go run ./cmd/watch -communicate          # watch the Fig 11 chasing collapse
+//	go run ./cmd/watch -communicate -stigmergy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		agents      = flag.Int("agents", 100, "agent population")
+		policy      = flag.String("policy", "oldest", "random | oldest")
+		communicate = flag.Bool("communicate", false, "exchange best route in meetings")
+		stigmergy   = flag.Bool("stigmergy", false, "use footprints")
+		steps       = flag.Int("steps", 300, "steps to simulate")
+		every       = flag.Int("every", 10, "render a frame every N steps")
+		delay       = flag.Duration("delay", 120*time.Millisecond, "pause between frames")
+		seed        = flag.Uint64("seed", 1, "world + placement seed")
+		cols        = flag.Int("cols", 72, "heat map columns")
+		rows        = flag.Int("rows", 24, "heat map rows")
+	)
+	flag.Parse()
+
+	kind := core.PolicyOldestNode
+	if *policy == "random" {
+		kind = core.PolicyRandom
+	}
+	w, err := netgen.Generate(netgen.Routing250(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "watch:", err)
+		os.Exit(1)
+	}
+
+	var series []float64
+	sc := routing.Scenario{
+		Agents:      *agents,
+		Kind:        kind,
+		Communicate: *communicate,
+		Stigmergy:   *stigmergy,
+		Steps:       *steps,
+		Observer: func(step int, w *network.World, tables *routing.Tables) {
+			series = append(series, routing.LocalConnectivity(w, tables))
+			if step%*every != 0 {
+				return
+			}
+			reach := routing.ReachSet(w, tables)
+			values := make([]float64, w.N())
+			for u := range values {
+				if reach[u] {
+					values[u] = 1
+				} else if tables.At(network.NodeID(u)).Len() > 0 {
+					values[u] = 0.4 // has a route, but it no longer reaches
+				}
+			}
+			fmt.Print("\033[H\033[2J") // clear screen, home cursor
+			fmt.Printf("step %3d  agents=%d policy=%s comm=%v stig=%v   (@ = gateway-reaching, - = stale route, G = gateway)\n",
+				step, *agents, kind, *communicate, *stigmergy)
+			fmt.Print(viz.Heatmap(w, values, *cols, *rows))
+			fmt.Printf("connectivity %.3f\n%s\n", series[len(series)-1], viz.Sparkline(series, *cols))
+			time.Sleep(*delay)
+		},
+	}
+	if _, err := routing.Run(w, sc, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "watch:", err)
+		os.Exit(1)
+	}
+	fmt.Println("done")
+}

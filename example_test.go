@@ -1,0 +1,79 @@
+package agentmesh_test
+
+import (
+	"fmt"
+	"log"
+
+	agentmesh "repro"
+)
+
+// ExampleFigures lists every reproducible experiment.
+func ExampleFigures() {
+	for _, id := range agentmesh.Figures()[:3] {
+		fmt.Println(id)
+	}
+	// Output:
+	// fig1
+	// fig2
+	// fig3
+}
+
+// ExampleRunMapping maps a small network with a cooperating team.
+func ExampleRunMapping() {
+	world, err := agentmesh.GenerateNetwork(agentmesh.NetworkSpec{
+		N: 50, TargetEdges: 300, ArenaSide: 40,
+		RangeSpread: 0.25, RequireStrong: true,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := agentmesh.RunMapping(world, agentmesh.MappingScenario{
+		Agents:    5,
+		Kind:      agentmesh.PolicyConscientious,
+		Cooperate: true,
+		Stigmergy: true,
+	}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("finished:", res.Finished)
+	// Output:
+	// finished: true
+}
+
+// ExampleRunRouting keeps a small MANET routed to its gateways.
+func ExampleRunRouting() {
+	world, err := agentmesh.GenerateNetwork(agentmesh.NetworkSpec{
+		N: 60, TargetEdges: 420, ArenaSide: 50, RangeSpread: 0.25,
+		Mobility: agentmesh.MobilityRandom, MobileFraction: 0.5,
+		MinSpeed: 0.1, MaxSpeed: 0.5,
+		Gateways: 4, RangeBoost: 1.5,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := agentmesh.RunRouting(world, agentmesh.RoutingScenario{
+		Agents: 20,
+		Kind:   agentmesh.PolicyOldestNode,
+		Steps:  150,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("routed more than half the nodes:", res.Mean > 0.5)
+	// Output:
+	// routed more than half the nodes: true
+}
+
+// ExampleFigure regenerates one of the paper's results.
+func ExampleFigure() {
+	rep, err := agentmesh.Figure("fig3", agentmesh.ExperimentConfig{
+		Runs: 2, Quick: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.ID, "checks:", len(rep.Checks))
+	// Output:
+	// fig3 checks: 1
+}

@@ -1,0 +1,60 @@
+// Quickstart: map an unknown wireless network with a small team of
+// cooperating, stigmergic mobile agents and print how long it took.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	agentmesh "repro"
+)
+
+func main() {
+	// Synthesise a 120-node wireless network: uniform node placement,
+	// heterogeneous radio ranges (so some links are one-way), strongly
+	// connected so agents can reach everything.
+	world, err := agentmesh.GenerateNetwork(agentmesh.NetworkSpec{
+		N:             120,
+		TargetEdges:   900,
+		ArenaSide:     80,
+		RangeSpread:   0.25,
+		RequireStrong: true,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network:", agentmesh.DescribeNetwork(world))
+
+	// Inject 10 conscientious agents that exchange maps when they meet
+	// and leave footprints so they stop retracing each other's steps.
+	result, err := agentmesh.RunMapping(world, agentmesh.MappingScenario{
+		Agents:    10,
+		Kind:      agentmesh.PolicyConscientious,
+		Cooperate: true,
+		Stigmergy: true,
+	}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !result.Finished {
+		log.Fatal("the team never finished — is the network connected?")
+	}
+	fmt.Printf("full topology mapped by every agent after %d steps\n", result.FinishStep)
+	fmt.Printf("agent migrations: %d, meetings: %d, records exchanged: %d\n",
+		result.Overhead.Moves, result.Overhead.Meetings, result.Overhead.TopoRecordsReceived)
+
+	// The knowledge curve: how much of the network the slowest agent knew
+	// over time.
+	for _, milestone := range []float64{0.25, 0.5, 0.75, 1.0} {
+		for step, frac := range result.MinCurve {
+			if frac >= milestone {
+				fmt.Printf("slowest agent reached %3.0f%% of the map at step %d\n",
+					milestone*100, step)
+				break
+			}
+		}
+	}
+}

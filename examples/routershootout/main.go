@@ -1,0 +1,87 @@
+// Routershootout: three ways to keep a MANET routed to its gateways, on
+// the exact same network trace — the paper's deliberate history-driven
+// agents, the nature-inspired ant colony from its related work, and a
+// classical distance-vector protocol. Quality and traffic are printed
+// side by side so the trade-off the paper argues for is visible in one
+// screen.
+//
+//	go run ./examples/routershootout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	agentmesh "repro"
+)
+
+const steps = 300
+
+func main() {
+	worldSeed := uint64(7)
+
+	// 1. The paper's agents.
+	w1, err := agentmesh.RoutingNetwork(worldSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := agentmesh.RunRouting(w1, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Steps: steps,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Ant colony on the identical world trace.
+	w2, err := agentmesh.RoutingNetwork(worldSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	colony := agentmesh.NewAntColony(w2, 100, 0.02, 64, 3)
+	var antLocal, antE2E float64
+	samples := 0
+	for step := 0; step < steps; step++ {
+		colony.Step()
+		if step >= steps/2 {
+			antLocal += colony.LocalConnectivity(step)
+			antE2E += colony.Connectivity(step)
+			samples++
+		}
+		w2.Step()
+	}
+	antLocal /= float64(samples)
+	antE2E /= float64(samples)
+
+	// 3. Distance-vector protocol on the identical world trace.
+	w3, err := agentmesh.RoutingNetwork(worldSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dv := agentmesh.NewDistanceVector(w3, 3)
+	var dvConn float64
+	samples = 0
+	for step := 0; step < steps; step++ {
+		dv.Step()
+		if step >= steps/2 {
+			dvConn += dv.Connectivity(step)
+			samples++
+		}
+		w3.Step()
+	}
+	dvConn /= float64(samples)
+
+	fmt.Println("same 250-node MANET, same movements, three routers:")
+	fmt.Println()
+	fmt.Printf("%-28s %-14s %-12s %s\n", "router", "connectivity", "end-to-end", "traffic")
+	fmt.Printf("%-28s %-14.3f %-12.3f %d agent hops\n",
+		"oldest-node agents (paper)", res.Mean, res.MeanEndToEnd, res.Overhead.Moves)
+	fmt.Printf("%-28s %-14.3f %-12.3f %d ant hops\n",
+		"ant colony (related work)", antLocal, antE2E, colony.Messages)
+	fmt.Printf("%-28s %-14.3f %-12.3f %d vector messages\n",
+		"distance-vector protocol", dvConn, dvConn, dv.Messages)
+	fmt.Println()
+	fmt.Printf("the protocol is near-perfect but costs %.0fx the agents' traffic;\n",
+		float64(dv.Messages)/float64(res.Overhead.Moves))
+	fmt.Println("ants buy whole-path consistency at lower coverage — the paper's agents")
+	fmt.Println("cover almost every node and leave path repair to the network's density.")
+}

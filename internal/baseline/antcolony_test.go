@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/rng"
+	"repro/internal/routing"
+)
+
+func TestAntColonyChainConverges(t *testing.T) {
+	w := chain(t, 6)
+	c := NewAntColony(w, 8, 0.02, 32, rng.New(1))
+	for i := 0; i < 300; i++ {
+		c.Step()
+	}
+	if got := c.Connectivity(300); got < 0.8 {
+		t.Fatalf("ant connectivity on chain = %v", got)
+	}
+	if c.Messages == 0 {
+		t.Fatal("no ant traffic counted")
+	}
+}
+
+func TestAntColonyTablesPointTowardGateway(t *testing.T) {
+	w := chain(t, 5)
+	c := NewAntColony(w, 6, 0.02, 32, rng.New(2))
+	for i := 0; i < 400; i++ {
+		c.Step()
+	}
+	ts := c.Tables(400)
+	// On a chain with the gateway at 0, strong trails must point down.
+	downhill := 0
+	for u := network.NodeID(1); u < 5; u++ {
+		if e, ok := ts.At(u).Lookup(0); ok && e.NextHop == u-1 {
+			downhill++
+		}
+	}
+	if downhill < 3 {
+		t.Fatalf("only %d/4 nodes point toward the gateway", downhill)
+	}
+}
+
+func TestAntColonyEvaporationForgetsDeadTrails(t *testing.T) {
+	w := chain(t, 4)
+	c := NewAntColony(w, 4, 0.3, 32, rng.New(3)) // aggressive evaporation
+	for i := 0; i < 100; i++ {
+		c.Step()
+	}
+	// Freeze the ants (no new deposits) and evaporate.
+	c.ants = nil
+	for i := 0; i < 100; i++ {
+		c.Step()
+	}
+	for u := range c.pher {
+		if len(c.pher[u]) != 0 {
+			t.Fatalf("pheromone survived evaporation at node %d: %v", u, c.pher[u])
+		}
+	}
+	if got := c.Connectivity(200); got != 0 {
+		t.Fatalf("connectivity after full evaporation = %v", got)
+	}
+}
+
+func TestAntColonyDeterministic(t *testing.T) {
+	run := func() (float64, int) {
+		w, err := netgen.Generate(netgen.Routing250(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewAntColony(w, 50, 0.02, 64, rng.New(9))
+		for i := 0; i < 100; i++ {
+			c.Step()
+			w.Step()
+		}
+		return c.Connectivity(100), c.Messages
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Fatalf("colony not deterministic: %v/%d vs %v/%d", c1, m1, c2, m2)
+	}
+}
+
+func TestAntColonyOnMANET(t *testing.T) {
+	w, err := netgen.Generate(netgen.Routing250(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewAntColony(w, 100, 0.02, 64, rng.New(5))
+	var conn []float64
+	for i := 0; i < 300; i++ {
+		c.Step()
+		if i >= 150 {
+			conn = append(conn, c.LocalConnectivity(i))
+		}
+		w.Step()
+	}
+	mean := 0.0
+	for _, v := range conn {
+		mean += v
+	}
+	mean /= float64(len(conn))
+	if mean < 0.3 {
+		t.Fatalf("ant colony too weak on MANET: %v", mean)
+	}
+}
+
+func TestAntColonyStrandedAntRespawns(t *testing.T) {
+	// A world where one node has no out-edges: ants landing there must
+	// respawn, not wedge.
+	w := chain(t, 3)
+	c := NewAntColony(w, 2, 0.02, 4, rng.New(7)) // tiny TTL forces respawns
+	for i := 0; i < 50; i++ {
+		c.Step()
+	}
+	// Reaching here without a panic or infinite loop is the assertion;
+	// sanity-check ants still exist and move.
+	if c.Messages == 0 {
+		t.Fatal("ants never moved")
+	}
+}
+
+func TestAntColonyTablesUsableByTraffic(t *testing.T) {
+	w := chain(t, 5)
+	c := NewAntColony(w, 6, 0.02, 32, rng.New(8))
+	for i := 0; i < 300; i++ {
+		c.Step()
+	}
+	ts := c.Tables(300)
+	visited := make([]bool, w.N())
+	if !routing.Reaches(w, ts, 4, 10, visited) {
+		t.Fatal("strongest trails do not carry a walk to the gateway")
+	}
+}

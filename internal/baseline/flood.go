@@ -1,0 +1,96 @@
+// Package baseline implements the non-agent comparators the overhead
+// experiments measure the mobile agents against: a synchronous flooding
+// protocol for topology mapping and a distance-vector routing protocol
+// (DSDV-lite) for gateway routing. Both are classical, message-heavy
+// solutions; the agents' claim is not that they beat these on raw speed
+// but that they approach them at a fraction of the traffic.
+package baseline
+
+import (
+	"repro/internal/network"
+)
+
+// NodeID aliases network.NodeID.
+type NodeID = network.NodeID
+
+// FloodResult reports a flooding-based mapping run.
+type FloodResult struct {
+	// Rounds is the number of synchronous rounds until every node knew
+	// the whole topology (-1 if the budget ran out).
+	Rounds int
+	// Messages counts node-record transmissions over links.
+	Messages int
+	// Bytes estimates the traffic (records × record size).
+	Bytes int
+	// Complete reports whether flooding finished within the budget.
+	Complete bool
+}
+
+// recordBytes mirrors the agents' per-record cost model so the comparison
+// is apples-to-apples.
+const recordBytes = 32
+
+// FloodMap runs synchronous flooding on the world's current topology:
+// every node starts knowing its own adjacency record and, each round,
+// forwards every record it learned in the previous round to all of its
+// out-neighbours. It returns when every node holds all n records.
+//
+// This is the centralised-knowledge baseline for the mapping scenario:
+// optimal in rounds (network diameter) but costing O(n·m) messages.
+func FloodMap(w *network.World, maxRounds int) FloodResult {
+	n := w.N()
+	topo := w.Topology()
+	if maxRounds <= 0 {
+		maxRounds = 4 * n
+	}
+	// known[u] marks which records node u holds; fresh are last round's.
+	known := make([][]bool, n)
+	fresh := make([][]NodeID, n)
+	for u := 0; u < n; u++ {
+		known[u] = make([]bool, n)
+		known[u][u] = true
+		fresh[u] = []NodeID{NodeID(u)}
+	}
+	complete := func() bool {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if !known[u][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	res := FloodResult{Rounds: -1}
+	if complete() { // single-node network
+		res.Rounds, res.Complete = 0, true
+		return res
+	}
+	next := make([][]NodeID, n)
+	for round := 1; round <= maxRounds; round++ {
+		for i := range next {
+			next[i] = nil
+		}
+		for u := 0; u < n; u++ {
+			if len(fresh[u]) == 0 {
+				continue
+			}
+			for _, v := range topo.Out(NodeID(u)) {
+				for _, rec := range fresh[u] {
+					res.Messages++
+					if !known[v][rec] {
+						known[v][rec] = true
+						next[v] = append(next[v], rec)
+					}
+				}
+			}
+		}
+		fresh, next = next, fresh
+		if complete() {
+			res.Rounds, res.Complete = round, true
+			break
+		}
+	}
+	res.Bytes = res.Messages * recordBytes
+	return res
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/knowledge"
+)
+
+// GroupByNode partitions agents by the node they currently occupy and
+// returns only the groups with at least two members — the meetings.
+// Groups are ordered by node ID and members keep the order of the input
+// slice, so meeting processing is deterministic.
+func GroupByNode(agents []*Agent) [][]*Agent {
+	byNode := make(map[NodeID][]*Agent)
+	for _, a := range agents {
+		byNode[a.At] = append(byNode[a.At], a)
+	}
+	nodes := make([]NodeID, 0, len(byNode))
+	for n, g := range byNode {
+		if len(g) > 1 {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	groups := make([][]*Agent, 0, len(nodes))
+	for _, n := range nodes {
+		groups = append(groups, byNode[n])
+	}
+	return groups
+}
+
+// ExchangeTopology runs the mapping-scenario meeting for one co-located
+// group: every sharing agent learns, second-hand and simultaneously, the
+// topology its peers know. Simultaneity is modelled by snapshotting every
+// participant before any merge, so the outcome does not depend on member
+// order. Agents flagged super-conscientious additionally merge visit
+// histories — that is what lets peer experience steer their movement.
+func ExchangeTopology(group []*Agent) {
+	sharers := group[:0:0]
+	for _, a := range group {
+		if a.SharesTopology() {
+			sharers = append(sharers, a)
+		}
+	}
+	if len(sharers) < 2 {
+		return
+	}
+	// Everyone ends up with the union of the group's knowledge. Rather
+	// than snapshotting every member (expensive when merged agents clump
+	// and meet every step), precompute one holder per node record from
+	// the pre-meeting state; the data a holder passes on is identical
+	// whether it knew the record first- or second-hand, so direct
+	// transfer preserves the simultaneous-exchange semantics.
+	n := sharers[0].Topo.N()
+	holder := make([]int16, n)
+	for u := 0; u < n; u++ {
+		holder[u] = -1
+		for j, a := range sharers {
+			if a.Topo.Knows(NodeID(u)) {
+				holder[u] = int16(j)
+				break
+			}
+		}
+	}
+	for i, a := range sharers {
+		a.Overhead.Meetings++
+		for u := 0; u < n; u++ {
+			j := holder[u]
+			if j < 0 || int(j) == i || a.Topo.Knows(NodeID(u)) {
+				continue
+			}
+			a.Topo.LearnSecondHand(NodeID(u), sharers[j].Topo.Neighbors(NodeID(u)))
+			a.Overhead.TopoRecordsReceived++
+		}
+	}
+	mergeVisitSharers(sharers)
+	unifySalts(sharers)
+}
+
+// mergeVisitSharers merges the visit histories of the group's
+// visit-sharing members into their union.
+func mergeVisitSharers(group []*Agent) {
+	vs := group[:0:0]
+	for _, a := range group {
+		if a.SharesVisits() {
+			vs = append(vs, a)
+		}
+	}
+	if len(vs) < 2 {
+		return
+	}
+	mems := make([]*knowledge.Visits, len(vs))
+	for i, a := range vs {
+		mems[i] = a.Visits
+	}
+	changed := knowledge.MergeAll(mems)
+	for i, a := range vs {
+		a.Overhead.VisitRecordsReceived += changed[i]
+	}
+}
+
+// unifySalts makes all visit-sharing members of a meeting adopt one salt:
+// having merged their histories they are now identical deciders, the
+// pathology the paper's Figs 5 and 11 document.
+func unifySalts(group []*Agent) {
+	var min uint64
+	found := false
+	for _, a := range group {
+		if a.SharesVisits() && (!found || a.tieSalt < min) {
+			min = a.tieSalt
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	for _, a := range group {
+		if a.SharesVisits() {
+			a.tieSalt = min
+		}
+	}
+}
+
+// ExchangeRoutes runs the routing-scenario meeting for one co-located
+// group: all route-sharing agents adopt the best (fewest-hops, anchored)
+// gateway trail present, and agents that also share visit histories merge
+// them — the mechanism the paper identifies as making oldest-node agents
+// identical after a meeting, so they chase one another.
+func ExchangeRoutes(group []*Agent) {
+	sharers := group[:0:0]
+	for _, a := range group {
+		if a.SharesRoutes() {
+			sharers = append(sharers, a)
+		}
+	}
+	if len(sharers) < 2 {
+		return
+	}
+	best := -1
+	for i, a := range sharers {
+		if !a.Trail.Anchored() {
+			continue
+		}
+		if best < 0 || a.Trail.BetterThan(sharers[best].Trail) {
+			best = i
+		}
+	}
+	for i, a := range sharers {
+		a.Overhead.Meetings++
+		if best >= 0 && i != best && sharers[best].Trail.BetterThan(a.Trail) {
+			a.Trail.CopyFrom(sharers[best].Trail)
+			a.Overhead.TrailAdoptions++
+		}
+	}
+	mergeVisitSharers(sharers)
+	unifySalts(sharers)
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mkAgent(t *testing.T, id int, at NodeID, kind PolicyKind, opts func(*Config)) *Agent {
+	t.Helper()
+	cfg := Config{
+		ID:          id,
+		Start:       at,
+		Kind:        kind,
+		NetworkSize: 20,
+		Stream:      rng.New(uint64(id) + 500),
+	}
+	if opts != nil {
+		opts(&cfg)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGroupByNode(t *testing.T) {
+	a := mkAgent(t, 0, 5, PolicyRandom, nil)
+	b := mkAgent(t, 1, 5, PolicyRandom, nil)
+	c := mkAgent(t, 2, 3, PolicyRandom, nil)
+	d := mkAgent(t, 3, 3, PolicyRandom, nil)
+	e := mkAgent(t, 4, 9, PolicyRandom, nil) // alone
+	groups := GroupByNode([]*Agent{a, b, c, d, e})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	// Ordered by node: group at 3 first, then 5; members in input order.
+	if groups[0][0] != c || groups[0][1] != d {
+		t.Fatal("group at node 3 wrong")
+	}
+	if groups[1][0] != a || groups[1][1] != b {
+		t.Fatal("group at node 5 wrong")
+	}
+}
+
+func TestGroupByNodeNoMeetings(t *testing.T) {
+	a := mkAgent(t, 0, 1, PolicyRandom, nil)
+	b := mkAgent(t, 1, 2, PolicyRandom, nil)
+	if groups := GroupByNode([]*Agent{a, b}); len(groups) != 0 {
+		t.Fatalf("unexpected groups: %d", len(groups))
+	}
+}
+
+func TestExchangeTopologySharesKnowledge(t *testing.T) {
+	share := func(c *Config) { c.ShareTopology = true }
+	a := mkAgent(t, 0, 5, PolicyConscientious, share)
+	b := mkAgent(t, 1, 5, PolicyConscientious, share)
+	a.Topo.LearnFirstHand(1, []NodeID{2})
+	b.Topo.LearnFirstHand(2, []NodeID{3})
+	ExchangeTopology([]*Agent{a, b})
+	if !a.Topo.Knows(2) || !b.Topo.Knows(1) {
+		t.Fatal("knowledge not exchanged")
+	}
+	if a.Overhead.TopoRecordsReceived != 1 || b.Overhead.TopoRecordsReceived != 1 {
+		t.Fatalf("records = %d/%d", a.Overhead.TopoRecordsReceived, b.Overhead.TopoRecordsReceived)
+	}
+	if a.Overhead.Meetings != 1 || b.Overhead.Meetings != 1 {
+		t.Fatal("meetings not counted")
+	}
+}
+
+func TestExchangeTopologySimultaneous(t *testing.T) {
+	// Three agents, knowledge chains must NOT propagate transitively
+	// within one meeting beyond what snapshots allow — everyone ends with
+	// the union regardless of member order.
+	share := func(c *Config) { c.ShareTopology = true }
+	agents := make([]*Agent, 3)
+	for i := range agents {
+		agents[i] = mkAgent(t, i, 5, PolicyConscientious, share)
+		agents[i].Topo.LearnFirstHand(NodeID(i), []NodeID{NodeID(i + 1)})
+	}
+	ExchangeTopology(agents)
+	for i, a := range agents {
+		for u := 0; u < 3; u++ {
+			if !a.Topo.Knows(NodeID(u)) {
+				t.Fatalf("agent %d missing node %d", i, u)
+			}
+		}
+	}
+}
+
+func TestExchangeTopologyNonSharersExcluded(t *testing.T) {
+	a := mkAgent(t, 0, 5, PolicyConscientious, func(c *Config) { c.ShareTopology = true })
+	b := mkAgent(t, 1, 5, PolicyConscientious, nil) // does not share
+	a.Topo.LearnFirstHand(1, nil)
+	b.Topo.LearnFirstHand(2, nil)
+	ExchangeTopology([]*Agent{a, b})
+	if a.Topo.Knows(2) || b.Topo.Knows(1) {
+		t.Fatal("non-sharer exchanged knowledge")
+	}
+	if a.Overhead.Meetings != 0 {
+		t.Fatal("lone sharer counted a meeting")
+	}
+}
+
+func TestExchangeTopologyVisitMergeOnlySuper(t *testing.T) {
+	share := func(c *Config) { c.ShareTopology = true }
+	super1 := mkAgent(t, 0, 5, PolicySuperConscientious, share)
+	super2 := mkAgent(t, 1, 5, PolicySuperConscientious, share)
+	con := mkAgent(t, 2, 5, PolicyConscientious, share)
+	super1.Visits.Record(7, 3)
+	super2.Visits.Record(8, 4)
+	con.Visits.Record(9, 5)
+	ExchangeTopology([]*Agent{super1, super2, con})
+	// Supers merge each other's visits.
+	if _, ok := super1.Visits.Last(8); !ok {
+		t.Fatal("super1 missing super2's visit")
+	}
+	if _, ok := super2.Visits.Last(7); !ok {
+		t.Fatal("super2 missing super1's visit")
+	}
+	// Supers do not take the conscientious agent's visits, nor vice versa.
+	if _, ok := super1.Visits.Last(9); ok {
+		t.Fatal("super merged non-sharer's visits")
+	}
+	if _, ok := con.Visits.Last(7); ok {
+		t.Fatal("conscientious agent merged visits")
+	}
+}
+
+func TestExchangeRoutesAdoptBest(t *testing.T) {
+	share := func(c *Config) { c.ShareRoutes = true; c.TrailCapacity = 8 }
+	a := mkAgent(t, 0, 5, PolicyRandom, share)
+	b := mkAgent(t, 1, 5, PolicyRandom, share)
+	// a: gateway 2 hops away; b: gateway 1 hop away.
+	a.MoveTo(1, true)
+	a.MoveTo(3, false)
+	a.MoveTo(5, false)
+	b.MoveTo(2, true)
+	b.MoveTo(5, false)
+	ExchangeRoutes([]*Agent{a, b})
+	if a.Trail.Gateway() != 2 || a.Trail.Hops() != 1 {
+		t.Fatalf("a did not adopt best trail: gw=%d hops=%d", a.Trail.Gateway(), a.Trail.Hops())
+	}
+	if b.Trail.Gateway() != 2 || b.Trail.Hops() != 1 {
+		t.Fatal("b's better trail changed")
+	}
+	if a.Overhead.TrailAdoptions != 1 || b.Overhead.TrailAdoptions != 0 {
+		t.Fatalf("adoptions = %d/%d", a.Overhead.TrailAdoptions, b.Overhead.TrailAdoptions)
+	}
+}
+
+func TestExchangeRoutesUnanchoredGainsRoute(t *testing.T) {
+	share := func(c *Config) { c.ShareRoutes = true; c.TrailCapacity = 8 }
+	a := mkAgent(t, 0, 5, PolicyRandom, share) // never saw a gateway
+	b := mkAgent(t, 1, 5, PolicyRandom, share)
+	a.MoveTo(5, false)
+	b.MoveTo(2, true)
+	b.MoveTo(5, false)
+	ExchangeRoutes([]*Agent{a, b})
+	if !a.Trail.Anchored() || a.Trail.Gateway() != 2 {
+		t.Fatal("unanchored agent did not adopt peer trail")
+	}
+}
+
+func TestExchangeRoutesNooneAnchored(t *testing.T) {
+	share := func(c *Config) { c.ShareRoutes = true }
+	a := mkAgent(t, 0, 5, PolicyRandom, share)
+	b := mkAgent(t, 1, 5, PolicyRandom, share)
+	ExchangeRoutes([]*Agent{a, b})
+	if a.Trail.Anchored() || b.Trail.Anchored() {
+		t.Fatal("phantom route appeared")
+	}
+	if a.Overhead.Meetings != 1 {
+		t.Fatal("meeting still counts")
+	}
+}
+
+func TestExchangeRoutesVisitMergeForOldestNode(t *testing.T) {
+	share := func(c *Config) { c.ShareRoutes = true; c.VisitCapacity = 16 }
+	a := mkAgent(t, 0, 5, PolicyOldestNode, share)
+	b := mkAgent(t, 1, 5, PolicyOldestNode, share)
+	a.EnableVisitSharing(true)
+	b.EnableVisitSharing(true)
+	a.Visits.Record(3, 1)
+	b.Visits.Record(4, 2)
+	ExchangeRoutes([]*Agent{a, b})
+	if _, ok := a.Visits.Last(4); !ok {
+		t.Fatal("a missing b's history")
+	}
+	if _, ok := b.Visits.Last(3); !ok {
+		t.Fatal("b missing a's history")
+	}
+	if a.Overhead.VisitRecordsReceived != 1 {
+		t.Fatalf("VisitRecordsReceived = %d", a.Overhead.VisitRecordsReceived)
+	}
+}
+
+func TestExchangeRoutesCommOffIsolates(t *testing.T) {
+	a := mkAgent(t, 0, 5, PolicyOldestNode, nil)
+	b := mkAgent(t, 1, 5, PolicyOldestNode, func(c *Config) { c.ShareRoutes = true; c.TrailCapacity = 8 })
+	b.MoveTo(2, true)
+	b.MoveTo(5, false)
+	ExchangeRoutes([]*Agent{a, b})
+	if a.Trail.Anchored() {
+		t.Fatal("comm-off agent adopted a trail")
+	}
+}
+
+func TestOverheadAdd(t *testing.T) {
+	var o Overhead
+	o.Add(Overhead{Moves: 1, Meetings: 2, TopoRecordsReceived: 3, VisitRecordsReceived: 4,
+		TrailAdoptions: 5, RouteDeposits: 6, MarksLeft: 7})
+	o.Add(Overhead{Moves: 1})
+	if o.Moves != 2 || o.Meetings != 2 || o.TopoRecordsReceived != 3 ||
+		o.VisitRecordsReceived != 4 || o.TrailAdoptions != 5 ||
+		o.RouteDeposits != 6 || o.MarksLeft != 7 {
+		t.Fatalf("Add wrong: %+v", o)
+	}
+}
+
+func TestSizeBytesGrowsWithKnowledge(t *testing.T) {
+	a := mkAgent(t, 0, 5, PolicyConscientious, nil)
+	empty := SizeBytes(a)
+	if empty != CodeBytes {
+		t.Fatalf("empty agent size = %d, want %d", empty, CodeBytes)
+	}
+	a.Topo.LearnFirstHand(1, []NodeID{2})
+	a.Visits.Record(1, 1)
+	a.MoveTo(3, true)
+	grown := SizeBytes(a)
+	if grown != CodeBytes+TopoRecordBytes+VisitRecordBytes+TrailNodeBytes {
+		t.Fatalf("size = %d", grown)
+	}
+	if TotalTrafficBytes(a) != 1*grown {
+		t.Fatalf("traffic = %d", TotalTrafficBytes(a))
+	}
+}
+
+// BenchmarkExchangeTopologyClump guards the holder-based exchange: a
+// clump of merged agents meeting every step was the hot path that made
+// Fig 5 40x slower with clone-based merging.
+func BenchmarkExchangeTopologyClump(b *testing.B) {
+	const n, g = 300, 25
+	agents := make([]*Agent, g)
+	for i := range agents {
+		a, err := New(Config{
+			ID: i, Kind: PolicySuperConscientious, NetworkSize: n,
+			ShareTopology: true, Stream: rng.New(uint64(i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			a.Topo.LearnFirstHand(NodeID(u), []NodeID{NodeID((u + 1) % n)})
+			a.Visits.Record(NodeID(u), u)
+		}
+		agents[i] = a
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExchangeTopology(agents)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// NodeID aliases graph.NodeID.
+type NodeID = graph.NodeID
+
+// PolicyKind names the movement algorithms studied in the paper.
+type PolicyKind int
+
+const (
+	// PolicyRandom moves to a uniformly random reachable neighbour — the
+	// baseline in both scenarios.
+	PolicyRandom PolicyKind = iota + 1
+	// PolicyConscientious moves to the neighbour never visited or visited
+	// least recently, judged by the agent's own (first-hand) history.
+	PolicyConscientious
+	// PolicySuperConscientious is conscientious but also folds visit
+	// history learned from peers into its movement decision.
+	PolicySuperConscientious
+	// PolicyOldestNode is the routing scenario's name for the
+	// conscientious chooser: prefer the neighbour last visited longest
+	// ago, never visited, or not remembered.
+	PolicyOldestNode
+)
+
+// String returns the paper's name for the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyRandom:
+		return "random"
+	case PolicyConscientious:
+		return "conscientious"
+	case PolicySuperConscientious:
+		return "super-conscientious"
+	case PolicyOldestNode:
+		return "oldest-node"
+	default:
+		return "unknown"
+	}
+}
+
+// usesRecency reports whether the policy consults visit history.
+func (k PolicyKind) usesRecency() bool { return k != PolicyRandom }
+
+// tieKey ranks equal-recency candidates. Ties must resolve
+// deterministically, and two agents whose histories have become identical
+// (after a visit-history merge) must resolve them identically — that
+// identity is the mechanism behind the paper's cooperation pathologies:
+// merged super-conscientious agents pick identical targets (Fig 5) and
+// communicating oldest-node agents chase one another (Fig 11), which
+// stigmergy then repairs. But a tie-break shared by ALL agents would herd
+// even unrelated agents together whenever they co-locate. So the key
+// hashes (node, step, candidate) with the agent's tie salt: each agent is
+// born with a private salt (no herding), and merging visit histories also
+// merges the salts (merged agents really do become identical deciders).
+func tieKey(salt uint64, node NodeID, step int, candidate NodeID) uint64 {
+	x := salt ^ uint64(node)<<40 ^ uint64(uint32(step))<<16 ^ uint64(candidate)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// choose picks the next node from candidates (non-empty) for agent a at
+// the given step.
+func (a *Agent) choose(step int, candidates []NodeID) NodeID {
+	if a.epsilon > 0 && a.stream.Bool(a.epsilon) {
+		return rng.Pick(a.stream, candidates)
+	}
+	if !a.kind.usesRecency() {
+		return rng.Pick(a.stream, candidates)
+	}
+	// Recency-based choice: unvisited (or forgotten) neighbours rank as
+	// "visited at -1", i.e. before the simulation began; ties resolve by
+	// the shared tieKey hash.
+	const never = -1
+	bestStep := int(^uint(0) >> 1) // max int
+	var best NodeID
+	var bestKey uint64
+	for _, c := range candidates {
+		s, ok := a.Visits.Last(c)
+		if !ok {
+			s = never
+		}
+		if s > bestStep {
+			continue
+		}
+		key := tieKey(a.tieSalt, a.At, step, c)
+		if s < bestStep || key < bestKey || (key == bestKey && c < best) {
+			bestStep, best, bestKey = s, c, key
+		}
+	}
+	return best
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is the smallest config that exercises every code path quickly.
+func tiny() Config {
+	return Config{Runs: 2, Seed: 1, Quick: true}
+}
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11",
+		"extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI", "extJ", "extK"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s (full: %v)", i, ids[i], want[i], ids)
+		}
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Fatalf("missing title for %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tiny()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Runs != 40 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	q := Config{Quick: true, Runs: 40}.withDefaults()
+	if q.Runs != 8 {
+		t.Fatalf("quick should cap runs: %+v", q)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"wide-cell", "3"}},
+	}
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", s)
+	}
+	if (Table{}).String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}
+
+func TestReportTSV(t *testing.T) {
+	r := Report{Series: []Series{
+		{Name: "a", Values: []float64{1, 2}},
+		{Name: "b", Values: []float64{3}},
+	}}
+	tsv := r.TSV()
+	lines := strings.Split(strings.TrimRight(tsv, "\n"), "\n")
+	if lines[0] != "step\ta\tb" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("tsv rows = %d", len(lines)-1)
+	}
+	// Short series padded with final value.
+	if !strings.HasSuffix(lines[2], "\t3.0000") {
+		t.Fatalf("padding wrong: %q", lines[2])
+	}
+	if (Report{}).TSV() != "" {
+		t.Fatal("no-series TSV should be empty")
+	}
+}
+
+func TestCheckRendering(t *testing.T) {
+	r := Report{
+		ID: "x", Title: "t", PaperClaim: "c", Params: "p",
+		Table: Table{Columns: []string{"k"}, Rows: [][]string{{"v"}}},
+		Checks: []Check{
+			{Name: "good", OK: true, Detail: "d"},
+			{Name: "bad", OK: false, Detail: "d"},
+			{Name: "known-bad", OK: false, Known: true, Detail: "d"},
+		},
+	}
+	s := r.String()
+	if !strings.Contains(s, "[OK ]") || !strings.Contains(s, "[DEV]") ||
+		!strings.Contains(s, "[dev (known)]") {
+		t.Fatalf("check statuses missing:\n%s", s)
+	}
+}
+
+// TestEveryExperimentRuns smoke-runs each registered experiment at minimal
+// size and validates report structure. The paper-shape assertions live in
+// the scenario packages' integration tests; this guards the harness.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, tiny())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.ID != id || rep.Title == "" || rep.PaperClaim == "" || rep.Params == "" {
+				t.Fatalf("incomplete report header: %+v", rep)
+			}
+			if len(rep.Table.Columns) == 0 || len(rep.Table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if len(rep.Checks) == 0 {
+				t.Fatal("no checks")
+			}
+			if rep.String() == "" {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	a, err := Run("fig3", Config{Runs: 2, Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig3", Config{Runs: 2, Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Rows[0][1] == b.Table.Rows[0][1] {
+		t.Fatalf("different seeds produced identical finish stats: %v", a.Table.Rows[0])
+	}
+	c, err := Run("fig3", Config{Runs: 2, Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Rows[0][1] != c.Table.Rows[0][1] {
+		t.Fatal("same seed not reproducible")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	r := Report{
+		ID: "fig1", Title: "t", PaperClaim: "claim", Params: "setup",
+		Table: Table{Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}},
+		Checks: []Check{
+			{Name: "ok-check", OK: true, Detail: "fine"},
+			{Name: "dev-check", OK: false, Detail: "off"},
+			{Name: "known-check", OK: false, Known: true, Detail: "expected"},
+		},
+	}
+	md := r.Markdown()
+	for _, want := range []string{
+		"### fig1 — t", "**Paper:** claim", "| a | b |", "| 1 | 2 |",
+		"✓ ok-check", "✗ dev-check", "✗ (known deviation) known-check",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestNormalizeID(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"1", "fig1"},
+		{"11", "fig11"},
+		{"fig5", "fig5"},
+		{"A", "extA"},
+		{"extK", "extK"},
+		{" 7 ", "fig7"},
+	}
+	for _, tt := range tests {
+		if got := NormalizeID(tt.in); got != tt.want {
+			t.Fatalf("NormalizeID(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package geom provides the 2-D geometry primitives used by the wireless
+// simulator: points, vectors, the rectangular arena nodes live in, and a
+// uniform spatial hash grid for fast radio-neighbourhood queries.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the 2-D arena.
+type Point struct {
+	X, Y float64
+}
+
+// Vec is a displacement or velocity in the plane.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Prefer it
+// over Dist for comparisons: it avoids the square root.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.X * k, v.Y * k} }
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y) }
+
+// Unit returns the unit vector in the direction of v, or the zero vector if
+// v has zero length.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return Vec{}
+	}
+	return Vec{v.X / l, v.Y / l}
+}
+
+// FromAngle returns the unit vector at the given angle (radians).
+func FromAngle(theta float64) Vec {
+	return Vec{math.Cos(theta), math.Sin(theta)}
+}
+
+// Rect is the axis-aligned arena [MinX, MaxX] × [MinY, MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns the arena [0, side] × [0, side].
+func Square(side float64) Rect { return Rect{0, 0, side, side} }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}
+
+// Bounce advances p by v and reflects the motion off the walls of r,
+// returning the new position and the (possibly flipped) velocity. It
+// handles displacements larger than the arena by iterating reflections.
+func (r Rect) Bounce(p Point, v Vec) (Point, Vec) {
+	x, vx := bounce1(p.X+v.X, r.MinX, r.MaxX, v.X)
+	y, vy := bounce1(p.Y+v.Y, r.MinY, r.MaxY, v.Y)
+	return Point{x, y}, Vec{vx, vy}
+}
+
+// bounce1 reflects coordinate c into [lo, hi], flipping the velocity
+// component each time it crosses a wall.
+func bounce1(c, lo, hi, v float64) (float64, float64) {
+	if hi <= lo {
+		return lo, 0
+	}
+	for c < lo || c > hi {
+		if c < lo {
+			c = 2*lo - c
+			v = -v
+		}
+		if c > hi {
+			c = 2*hi - c
+			v = -v
+		}
+	}
+	return c, v
+}

@@ -1,0 +1,123 @@
+package geom
+
+// Grid is a uniform spatial hash over an arena. It answers "which items lie
+// within radius r of point p" in expected O(1 + k) time, replacing the
+// O(n²) all-pairs scan when rebuilding wireless topologies every step.
+//
+// Items are dense integer IDs in [0, n). The zero value is not usable;
+// construct with NewGrid.
+type Grid struct {
+	arena    Rect
+	cell     float64
+	cols     int
+	rows     int
+	cells    [][]int32 // cell index -> item ids
+	pos      []Point   // item id -> position
+	occupied []int     // cells currently non-empty, for fast Reset
+}
+
+// NewGrid returns a grid over arena sized for n items with the given cell
+// side. A good cell side is the maximum radio range: then any radius-r
+// query with r <= cell touches at most 9 cells.
+func NewGrid(arena Rect, n int, cell float64) *Grid {
+	if cell <= 0 {
+		cell = 1
+	}
+	cols := int(arena.Width()/cell) + 1
+	rows := int(arena.Height()/cell) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		arena: arena,
+		cell:  cell,
+		cols:  cols,
+		rows:  rows,
+		cells: make([][]int32, cols*rows),
+		pos:   make([]Point, n),
+	}
+}
+
+// cellIndex returns the flat cell index for p, clamped to the arena.
+func (g *Grid) cellIndex(p Point) int {
+	cx := int((p.X - g.arena.MinX) / g.cell)
+	cy := int((p.Y - g.arena.MinY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Rebuild clears the grid and inserts every position in pos, which is
+// indexed by item ID. The slice is copied into the grid's own storage.
+func (g *Grid) Rebuild(pos []Point) {
+	for _, ci := range g.occupied {
+		g.cells[ci] = g.cells[ci][:0]
+	}
+	g.occupied = g.occupied[:0]
+	if len(g.pos) < len(pos) {
+		g.pos = make([]Point, len(pos))
+	}
+	g.pos = g.pos[:len(pos)]
+	copy(g.pos, pos)
+	for id, p := range pos {
+		ci := g.cellIndex(p)
+		if len(g.cells[ci]) == 0 {
+			g.occupied = append(g.occupied, ci)
+		}
+		g.cells[ci] = append(g.cells[ci], int32(id))
+	}
+}
+
+// Within appends to dst the IDs of all items whose distance to p is at most
+// r, excluding the item with ID exclude (pass a negative value to exclude
+// nothing), and returns the extended slice. Results are in ascending cell
+// order but otherwise unsorted.
+func (g *Grid) Within(p Point, r float64, exclude int, dst []int32) []int32 {
+	if r < 0 {
+		return dst
+	}
+	minCX := int((p.X - r - g.arena.MinX) / g.cell)
+	maxCX := int((p.X + r - g.arena.MinX) / g.cell)
+	minCY := int((p.Y - r - g.arena.MinY) / g.cell)
+	maxCY := int((p.Y + r - g.arena.MinY) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	r2 := r * r
+	for cy := minCY; cy <= maxCY; cy++ {
+		base := cy * g.cols
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[base+cx] {
+				if int(id) == exclude {
+					continue
+				}
+				if g.pos[id].Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}

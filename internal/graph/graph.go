@@ -1,0 +1,371 @@
+// Package graph implements the directed-graph machinery the simulator is
+// built on: adjacency storage, traversals, strong connectivity, and
+// reachability toward gateway sets. Node IDs are dense ints in [0, N).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense: a graph over n nodes uses
+// IDs 0..n-1.
+type NodeID = int32
+
+// Directed is a directed graph stored as out-adjacency lists. The zero
+// value is an empty graph with no nodes; use New to size one.
+type Directed struct {
+	out [][]NodeID
+	in  [][]NodeID // maintained lazily; nil until ensureIn
+	m   int        // edge count
+}
+
+// New returns a directed graph with n nodes and no edges.
+func New(n int) *Directed {
+	return &Directed{out: make([][]NodeID, n)}
+}
+
+// N returns the number of nodes.
+func (g *Directed) N() int { return len(g.out) }
+
+// M returns the number of edges.
+func (g *Directed) M() int { return g.m }
+
+// AddEdge inserts the edge u→v. Duplicate edges and self-loops are
+// rejected (returning false) so that edge counts stay meaningful.
+func (g *Directed) AddEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	for _, w := range g.out[u] {
+		if w == v {
+			return false
+		}
+	}
+	g.out[u] = append(g.out[u], v)
+	g.m++
+	g.in = nil
+	return true
+}
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Directed) HasEdge(u, v NodeID) bool {
+	for _, w := range g.out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the out-neighbours of u. The returned slice is owned by the
+// graph; callers must not modify it.
+func (g *Directed) Out(u NodeID) []NodeID { return g.out[u] }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Directed) OutDegree(u NodeID) int { return len(g.out[u]) }
+
+// SortAdjacency sorts every adjacency list ascending. Generators call it
+// once so that iteration order — and hence every downstream random choice —
+// is independent of insertion order.
+func (g *Directed) SortAdjacency() {
+	for _, adj := range g.out {
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	g.in = nil
+}
+
+// ensureIn builds the in-adjacency lists if absent.
+func (g *Directed) ensureIn() {
+	if g.in != nil {
+		return
+	}
+	g.in = make([][]NodeID, len(g.out))
+	for u, adj := range g.out {
+		for _, v := range adj {
+			g.in[v] = append(g.in[v], NodeID(u))
+		}
+	}
+}
+
+// In returns the in-neighbours of v. The returned slice is owned by the
+// graph; callers must not modify it.
+func (g *Directed) In(v NodeID) []NodeID {
+	g.ensureIn()
+	return g.in[v]
+}
+
+// Clone returns a deep copy of g.
+func (g *Directed) Clone() *Directed {
+	c := New(g.N())
+	for u, adj := range g.out {
+		c.out[u] = append([]NodeID(nil), adj...)
+	}
+	c.m = g.m
+	return c
+}
+
+// Equal reports whether g and h have identical node counts and edge sets.
+func (g *Directed) Equal(h *Directed) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for u := range g.out {
+		if len(g.out[u]) != len(h.out[u]) {
+			return false
+		}
+		for _, v := range g.out[u] {
+			if !h.HasEdge(NodeID(u), v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BFSFrom returns dist[v] = hop count from src to v, with -1 for
+// unreachable nodes.
+func (g *Directed) BFSFrom(src NodeID) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ReachableFrom returns the set (as a bool slice) of nodes reachable from
+// src, including src itself.
+func (g *Directed) ReachableFrom(src NodeID) []bool {
+	seen := make([]bool, g.N())
+	seen[src] = true
+	stack := []NodeID{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.out[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReachSet returns, for every node, whether some member of targets is
+// reachable from it. It runs one reverse BFS from the target set, so it is
+// O(N + M) regardless of |targets|.
+func (g *Directed) CanReachSet(targets []NodeID) []bool {
+	g.ensureIn()
+	seen := make([]bool, g.N())
+	queue := make([]NodeID, 0, len(targets))
+	for _, t := range targets {
+		if !seen[t] {
+			seen[t] = true
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.in[v] {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return seen
+}
+
+// StronglyConnected reports whether the graph is strongly connected
+// (every node reaches every other). Vacuously true for N <= 1.
+func (g *Directed) StronglyConnected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	fwd := g.ReachableFrom(0)
+	for _, ok := range fwd {
+		if !ok {
+			return false
+		}
+	}
+	back := g.CanReachSet([]NodeID{0})
+	for _, ok := range back {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SCCs returns the strongly connected components (Tarjan, iterative),
+// each component a slice of node IDs. Components are emitted in reverse
+// topological order of the condensation.
+func (g *Directed) SCCs() [][]NodeID {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]NodeID
+		stack   []NodeID
+		next    int32
+		callU   []NodeID // explicit DFS call stack: node
+		callEi  []int    // and position within its adjacency list
+		pushDFS = func(u NodeID) {
+			index[u] = next
+			low[u] = next
+			next++
+			stack = append(stack, u)
+			onStack[u] = true
+			callU = append(callU, u)
+			callEi = append(callEi, 0)
+		}
+	)
+	for s := 0; s < n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		pushDFS(NodeID(s))
+		for len(callU) > 0 {
+			u := callU[len(callU)-1]
+			ei := callEi[len(callEi)-1]
+			if ei < len(g.out[u]) {
+				callEi[len(callEi)-1]++
+				v := g.out[u][ei]
+				if index[v] == unvisited {
+					pushDFS(v)
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// u is finished.
+			callU = callU[:len(callU)-1]
+			callEi = callEi[:len(callEi)-1]
+			if len(callU) > 0 {
+				parent := callU[len(callU)-1]
+				if low[u] < low[parent] {
+					low[parent] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == u {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// LargestSCC returns the node set of the largest strongly connected
+// component.
+func (g *Directed) LargestSCC() []NodeID {
+	var best []NodeID
+	for _, c := range g.SCCs() {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// DegreeStats summarises the out-degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// OutDegreeStats returns min/max/mean out-degree.
+func (g *Directed) OutDegreeStats() DegreeStats {
+	if g.N() == 0 {
+		return DegreeStats{}
+	}
+	st := DegreeStats{Min: len(g.out[0]), Max: len(g.out[0])}
+	total := 0
+	for _, adj := range g.out {
+		d := len(adj)
+		total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(total) / float64(g.N())
+	return st
+}
+
+// DiffEdges returns the number of edges present in g but not in h plus
+// those in h but not in g — the symmetric-difference size. Both graphs
+// must have the same node count.
+func DiffEdges(g, h *Directed) int {
+	if g.N() != h.N() {
+		panic(fmt.Sprintf("graph: DiffEdges on mismatched sizes %d vs %d", g.N(), h.N()))
+	}
+	diff := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			if !h.HasEdge(NodeID(u), v) {
+				diff++
+			}
+		}
+		for _, v := range h.out[u] {
+			if !g.HasEdge(NodeID(u), v) {
+				diff++
+			}
+		}
+	}
+	return diff
+}
+
+// Diameter returns the longest finite shortest-path distance between any
+// ordered node pair, and whether every ordered pair is connected. It runs
+// a BFS from every node — O(N·(N+M)) — so use it for analysis, not in
+// simulation loops.
+func (g *Directed) Diameter() (diameter int, connected bool) {
+	n := g.N()
+	connected = true
+	for u := 0; u < n; u++ {
+		dist := g.BFSFrom(NodeID(u))
+		for _, d := range dist {
+			if d < 0 {
+				connected = false
+				continue
+			}
+			if int(d) > diameter {
+				diameter = int(d)
+			}
+		}
+	}
+	return diameter, connected
+}

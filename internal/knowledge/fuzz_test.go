@@ -1,0 +1,71 @@
+package knowledge
+
+import "testing"
+
+// FuzzTrailOps drives a Trail with an arbitrary operation tape and checks
+// its structural invariants after every operation.
+func FuzzTrailOps(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 2, 3, 1, 0})
+	f.Add(uint8(2), []byte{200, 200, 200})
+	f.Add(uint8(16), []byte{})
+	f.Fuzz(func(t *testing.T, capacity uint8, tape []byte) {
+		tr := NewTrail(int(capacity))
+		for i, op := range tape {
+			node := NodeID(op % 32)
+			if op >= 224 { // ~1/8 of ops are gateway visits
+				tr.ResetAt(node)
+			} else {
+				tr.Extend(node)
+			}
+			// Invariants after every op.
+			if tr.Len() > tr.Capacity() {
+				t.Fatalf("op %d: len %d > capacity %d", i, tr.Len(), tr.Capacity())
+			}
+			if tr.Anchored() {
+				if tr.Hops() != tr.Len()-1 {
+					t.Fatalf("op %d: anchored hops %d != len-1 %d", i, tr.Hops(), tr.Len()-1)
+				}
+				if tr.Gateway() < 0 {
+					t.Fatalf("op %d: anchored but no gateway", i)
+				}
+			} else if tr.Hops() != -1 || tr.Gateway() != -1 {
+				t.Fatalf("op %d: unanchored trail reports a route", i)
+			}
+			seen := map[NodeID]bool{}
+			for _, u := range tr.Nodes() {
+				if seen[u] {
+					t.Fatalf("op %d: duplicate node %d in trail %v", i, u, tr.Nodes())
+				}
+				seen[u] = true
+			}
+			if tr.Len() > 0 && tr.Current() != tr.At(tr.Len()-1) {
+				t.Fatalf("op %d: Current mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzVisitsOps drives a Visits memory with an arbitrary tape and checks
+// the capacity bound and recency semantics.
+func FuzzVisitsOps(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5})
+	f.Add(uint8(0), []byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, capacity uint8, tape []byte) {
+		v := NewVisits(int(capacity))
+		highest := map[NodeID]int{}
+		for step, op := range tape {
+			node := NodeID(op % 16)
+			v.Record(node, step)
+			if prev, ok := highest[node]; !ok || step > prev {
+				highest[node] = step
+			}
+			if capacity > 0 && v.Len() > int(capacity) {
+				t.Fatalf("step %d: len %d > capacity %d", step, v.Len(), capacity)
+			}
+			// Anything remembered must match the true latest step.
+			if got, ok := v.Last(node); !ok || got != highest[node] {
+				t.Fatalf("step %d: Last(%d) = %d,%v want %d", step, node, got, ok, highest[node])
+			}
+		}
+	})
+}

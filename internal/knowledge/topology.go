@@ -1,0 +1,131 @@
+// Package knowledge implements the state a mobile agent carries: what it
+// knows about the topology (first- and second-hand), which nodes it has
+// visited and when, and — in the routing scenario — the trail back to the
+// last gateway it saw.
+package knowledge
+
+import "repro/internal/graph"
+
+// NodeID aliases graph.NodeID.
+type NodeID = graph.NodeID
+
+// Source labels how a piece of knowledge was obtained.
+type Source uint8
+
+const (
+	// Unknown means the agent knows nothing about the node.
+	Unknown Source = iota
+	// SecondHand knowledge was learned from another agent.
+	SecondHand
+	// FirstHand knowledge was experienced directly.
+	FirstHand
+)
+
+// Topology is an agent's accumulating model of the network: for each node,
+// the full out-neighbour list once learned, tagged first- or second-hand.
+// The paper's "knowledge" metric counts learned nodes; "perfect knowledge"
+// means every node's neighbour list is known.
+type Topology struct {
+	source []Source
+	adj    [][]NodeID
+	known  int
+}
+
+// NewTopology returns empty knowledge over an n-node network.
+func NewTopology(n int) *Topology {
+	return &Topology{
+		source: make([]Source, n),
+		adj:    make([][]NodeID, n),
+	}
+}
+
+// N returns the network size this knowledge covers.
+func (t *Topology) N() int { return len(t.source) }
+
+// KnownCount returns how many nodes' neighbour lists are known.
+func (t *Topology) KnownCount() int { return t.known }
+
+// Fraction returns the fraction of nodes known, in [0, 1].
+func (t *Topology) Fraction() float64 {
+	if len(t.source) == 0 {
+		return 1
+	}
+	return float64(t.known) / float64(len(t.source))
+}
+
+// Complete reports whether every node is known.
+func (t *Topology) Complete() bool { return t.known == len(t.source) }
+
+// SourceOf returns how node u's neighbourhood is known.
+func (t *Topology) SourceOf(u NodeID) Source { return t.source[u] }
+
+// Knows reports whether node u's neighbourhood is known at all.
+func (t *Topology) Knows(u NodeID) bool { return t.source[u] != Unknown }
+
+// LearnFirstHand records node u's out-neighbour list as directly
+// experienced. First-hand knowledge always overwrites second-hand (the
+// network may have changed since the peer learned it).
+func (t *Topology) LearnFirstHand(u NodeID, neighbors []NodeID) {
+	if t.source[u] == Unknown {
+		t.known++
+	}
+	t.source[u] = FirstHand
+	t.adj[u] = append(t.adj[u][:0], neighbors...)
+}
+
+// LearnSecondHand records hearsay about node u. It never overwrites
+// first-hand knowledge.
+func (t *Topology) LearnSecondHand(u NodeID, neighbors []NodeID) {
+	if t.source[u] == FirstHand {
+		return
+	}
+	if t.source[u] == Unknown {
+		t.known++
+	}
+	t.source[u] = SecondHand
+	t.adj[u] = append(t.adj[u][:0], neighbors...)
+}
+
+// MergeFrom copies everything other knows that t does not, as second-hand
+// knowledge. It returns the number of node records transferred, which the
+// overhead accounting uses as the message size of the exchange.
+func (t *Topology) MergeFrom(other *Topology) int {
+	moved := 0
+	for u := range other.source {
+		if other.source[u] == Unknown || t.source[u] != Unknown {
+			continue
+		}
+		t.LearnSecondHand(NodeID(u), other.adj[u])
+		moved++
+	}
+	return moved
+}
+
+// Neighbors returns the known out-neighbour list for u (nil if unknown).
+// Callers must not modify the returned slice.
+func (t *Topology) Neighbors(u NodeID) []NodeID { return t.adj[u] }
+
+// Reconstruct builds the directed graph this agent believes in. Unknown
+// nodes contribute no edges.
+func (t *Topology) Reconstruct() *graph.Directed {
+	g := graph.New(len(t.source))
+	for u := range t.adj {
+		for _, v := range t.adj[u] {
+			g.AddEdge(NodeID(u), v)
+		}
+	}
+	return g
+}
+
+// Clone returns a deep copy.
+func (t *Topology) Clone() *Topology {
+	c := NewTopology(len(t.source))
+	copy(c.source, t.source)
+	for u := range t.adj {
+		if t.adj[u] != nil {
+			c.adj[u] = append([]NodeID(nil), t.adj[u]...)
+		}
+	}
+	c.known = t.known
+	return c
+}

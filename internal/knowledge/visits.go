@@ -1,0 +1,152 @@
+package knowledge
+
+import "sort"
+
+// Visits is an agent's bounded memory of when it last visited each node.
+// It drives the conscientious / super-conscientious / oldest-node policies:
+// "go to the neighbour you have never visited, don't remember visiting, or
+// visited longest ago."
+//
+// Capacity 0 means unbounded. When bounded and full, the entry with the
+// oldest step is evicted — forgetting the most distant visit first, which
+// is what a fixed-size ring of visit records would do.
+type Visits struct {
+	capacity int
+	last     map[NodeID]int
+}
+
+// NewVisits returns a visit memory holding at most capacity entries
+// (0 = unbounded).
+func NewVisits(capacity int) *Visits {
+	return &Visits{capacity: capacity, last: make(map[NodeID]int)}
+}
+
+// Len returns the number of remembered nodes.
+func (v *Visits) Len() int { return len(v.last) }
+
+// Capacity returns the configured bound (0 = unbounded).
+func (v *Visits) Capacity() int { return v.capacity }
+
+// Record notes that the agent stood on node u at the given step.
+func (v *Visits) Record(u NodeID, step int) {
+	if _, ok := v.last[u]; !ok && v.capacity > 0 && len(v.last) >= v.capacity {
+		v.evictOldest()
+	}
+	if prev, ok := v.last[u]; !ok || step > prev {
+		v.last[u] = step
+	}
+}
+
+// Last returns when u was last visited. ok is false if the agent never
+// visited u or has forgotten the visit.
+func (v *Visits) Last(u NodeID) (step int, ok bool) {
+	step, ok = v.last[u]
+	return step, ok
+}
+
+// evictOldest removes the entry with the smallest step, breaking ties by
+// smallest node ID so the choice is deterministic regardless of map
+// iteration order.
+func (v *Visits) evictOldest() {
+	first := true
+	var victim NodeID
+	victimStep := 0
+	for u, s := range v.last {
+		if first || s < victimStep || (s == victimStep && u < victim) {
+			victim, victimStep, first = u, s, false
+		}
+	}
+	if !first {
+		delete(v.last, victim)
+	}
+}
+
+// MergeFrom folds other's visit records into v, keeping the most recent
+// step per node. This is the "become identical after meeting" mechanism of
+// super-conscientious (mapping) and communicating oldest-node (routing)
+// agents. It returns the number of records that changed v.
+//
+// Records are applied freshest-first (ties by node ID) rather than in map
+// iteration order, so bounded merges evict deterministically.
+func (v *Visits) MergeFrom(other *Visits) int {
+	entries := make([]visitRec, 0, len(other.last))
+	for u, s := range other.last {
+		entries = append(entries, visitRec{node: u, step: s})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].step != entries[j].step {
+			return entries[i].step > entries[j].step
+		}
+		return entries[i].node < entries[j].node
+	})
+	changed := 0
+	for _, e := range entries {
+		if prev, ok := v.last[e.node]; !ok || e.step > prev {
+			// Eviction applies only to brand-new entries.
+			if !ok && v.capacity > 0 && len(v.last) >= v.capacity {
+				v.evictOldest()
+			}
+			v.last[e.node] = e.step
+			changed++
+		}
+	}
+	return changed
+}
+
+type visitRec struct {
+	node NodeID
+	step int
+}
+
+// MergeAll folds the visit memories of a meeting group into their union —
+// the most recent step per node — and installs that union in every member,
+// bounded to each member's own capacity by dropping the oldest records.
+// Afterwards equal-capacity members are identical, which is exactly the
+// post-meeting state the paper describes. It returns, per member, how many
+// records were added or refreshed. It is much cheaper than pairwise
+// MergeFrom for the clumped groups cooperation produces.
+func MergeAll(ms []*Visits) []int {
+	union := make(map[NodeID]int)
+	for _, m := range ms {
+		for u, s := range m.last {
+			if p, ok := union[u]; !ok || s > p {
+				union[u] = s
+			}
+		}
+	}
+	entries := make([]visitRec, 0, len(union))
+	for u, s := range union {
+		entries = append(entries, visitRec{node: u, step: s})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].step != entries[j].step {
+			return entries[i].step > entries[j].step
+		}
+		return entries[i].node < entries[j].node
+	})
+	changed := make([]int, len(ms))
+	for i, m := range ms {
+		kept := entries
+		if m.capacity > 0 && len(kept) > m.capacity {
+			kept = kept[:m.capacity]
+		}
+		next := make(map[NodeID]int, len(kept))
+		for _, e := range kept {
+			if p, ok := m.last[e.node]; !ok || e.step > p {
+				changed[i]++
+			}
+			next[e.node] = e.step
+		}
+		m.last = next
+	}
+	return changed
+}
+
+// Clone returns a deep copy.
+func (v *Visits) Clone() *Visits {
+	c := NewVisits(v.capacity)
+	for u, s := range v.last {
+		c.last[u] = s
+	}
+	return c
+}

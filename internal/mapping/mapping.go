@@ -1,0 +1,368 @@
+// Package mapping implements the paper's first scenario: a team of mobile
+// agents cooperatively builds the full topology map of a (mostly) static
+// wireless network. Each simulated step every agent (1) learns the edges
+// off its current node first-hand, (2) learns everything it can from
+// co-located agents, (3) chooses its next node — filtered through
+// stigmergic footprints if enabled — and (4) moves.
+//
+// The headline metric is the finishing time: the first step at which every
+// agent's map is complete, which measures the team, not any individual.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/stigmergy"
+	"repro/internal/trace"
+)
+
+// NodeID aliases network.NodeID.
+type NodeID = network.NodeID
+
+// TeamSpec is one homogeneous slice of a mixed team.
+type TeamSpec struct {
+	Kind  core.PolicyKind
+	Count int
+}
+
+// Scenario configures one mapping experiment.
+type Scenario struct {
+	// Agents is the population size.
+	Agents int
+	// Kind selects the movement policy for every agent.
+	Kind core.PolicyKind
+	// Team, when non-empty, overrides Agents/Kind with a mixed
+	// population — the paper's "diversity of the agent types" dimension.
+	// Agents are created in slice order, so agent IDs are deterministic.
+	Team []TeamSpec
+	// Stigmergy enables footprints.
+	Stigmergy bool
+	// Cooperate lets co-located agents exchange topology knowledge.
+	// Single-agent runs are unaffected.
+	Cooperate bool
+	// Epsilon is Minar's randomness fix (0 disables).
+	Epsilon float64
+	// VisitCapacity bounds agent visit memory (0 = unbounded).
+	VisitCapacity int
+	// StigPerNode and StigWindow size the footprint board (defaults 3
+	// marks/node, never expiring).
+	StigPerNode int
+	StigWindow  int
+	// MaxSteps bounds the run (default 50000).
+	MaxSteps int
+	// Workers sizes the engine (0/1 = sequential).
+	Workers int
+	// Tracer, if set, receives structured events (moves, meetings,
+	// per-step knowledge). Events are emitted from sequential sections,
+	// so traces are reproducible with Workers <= 1.
+	Tracer trace.Tracer
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if len(sc.Team) > 0 {
+		sc.Agents = 0
+		for _, t := range sc.Team {
+			sc.Agents += t.Count
+		}
+	}
+	if sc.Agents <= 0 {
+		sc.Agents = 1
+	}
+	if sc.Kind == 0 {
+		sc.Kind = core.PolicyConscientious
+	}
+	if sc.StigPerNode <= 0 {
+		sc.StigPerNode = 3
+	}
+	if sc.MaxSteps <= 0 {
+		sc.MaxSteps = 50000
+	}
+	return sc
+}
+
+// Result reports one mapping run.
+type Result struct {
+	// Finished reports whether every agent completed its map in budget.
+	Finished bool
+	// FinishStep is the completion step (valid when Finished).
+	FinishStep int
+	// Curve is the team-average knowledge fraction after each step.
+	Curve []float64
+	// MinCurve is the slowest agent's knowledge fraction after each step
+	// (the curve whose arrival at 1.0 defines the finishing time).
+	MinCurve []float64
+	// Overhead aggregates all agents' cost counters.
+	Overhead core.Overhead
+}
+
+// Run executes one mapping run on w with random agent placement drawn from
+// seed. Static worlds can be shared across runs; dynamic worlds are
+// stepped and should be freshly generated per run.
+func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
+	sc = sc.withDefaults()
+	root := rng.New(seed).Named("mapping")
+	agents, err := placeAgents(w, sc, root)
+	if err != nil {
+		return Result{}, err
+	}
+	var board *stigmergy.Board
+	if sc.Stigmergy {
+		board = stigmergy.NewBoard(w.N(), sc.StigPerNode, sc.StigWindow)
+	}
+	engine := sim.NewEngine(sc.Workers)
+	next := make([]NodeID, len(agents))
+	res := Result{
+		Curve:    make([]float64, 0, 1024),
+		MinCurve: make([]float64, 0, 1024),
+	}
+
+	steps, completed := sim.Run(sc.MaxSteps, func(step int) bool {
+		// Phase 1: first-hand learning + visit recording (independent).
+		engine.ForEach(len(agents), func(i int) {
+			a := agents[i]
+			a.RecordHere(step)
+			a.LearnNeighbors(w.Neighbors(a.At))
+		})
+		// Phase 2: meetings (independent across co-located groups).
+		if sc.Cooperate && len(agents) > 1 {
+			groups := core.GroupByNode(agents)
+			if sc.Tracer != nil {
+				for _, g := range groups {
+					sc.Tracer.Emit(trace.Event{
+						Step: step, Kind: trace.KindMeet,
+						Node: int32(g[0].At), Value: float64(len(g)),
+					})
+				}
+			}
+			engine.ForEach(len(groups), func(g int) {
+				core.ExchangeTopology(groups[g])
+			})
+		}
+		// Metrics + completion check.
+		sum, min := 0.0, 1.0
+		for _, a := range agents {
+			f := a.Topo.Fraction()
+			sum += f
+			if f < min {
+				min = f
+			}
+		}
+		res.Curve = append(res.Curve, sum/float64(len(agents)))
+		res.MinCurve = append(res.MinCurve, min)
+		if sc.Tracer != nil {
+			sc.Tracer.Emit(trace.Event{
+				Step: step, Kind: trace.KindMeasure,
+				Value: sum / float64(len(agents)), Extra: "avg-knowledge",
+			})
+		}
+		if min >= 1 {
+			if sc.Tracer != nil {
+				sc.Tracer.Emit(trace.Event{Step: step, Kind: trace.KindFinish})
+			}
+			return true
+		}
+		// Phase 3: decide + mark. Agents on distinct nodes are
+		// independent (footprints are only read and written at the
+		// agent's own node), so parallelise across node groups and keep
+		// agent order within a group — bit-identical to sequential.
+		if sc.Stigmergy {
+			groups := groupAll(agents)
+			engine.ForEach(len(groups), func(g int) {
+				for _, a := range groups[g] {
+					next[a.ID] = a.Decide(board, step, w.Neighbors(a.At))
+				}
+			})
+		} else {
+			engine.ForEach(len(agents), func(i int) {
+				a := agents[i]
+				next[a.ID] = a.Decide(nil, step, w.Neighbors(a.At))
+			})
+		}
+		// Phase 4: move, then the world itself evolves.
+		for _, a := range agents {
+			if sc.Tracer != nil && next[a.ID] != a.At {
+				sc.Tracer.Emit(trace.Event{
+					Step: step, Kind: trace.KindMove,
+					Agent: int32(a.ID), Node: int32(a.At), To: int32(next[a.ID]),
+				})
+			}
+			a.MoveTo(next[a.ID], w.IsGateway(next[a.ID]))
+		}
+		w.Step()
+		return false
+	})
+
+	res.Finished = completed
+	if completed {
+		res.FinishStep = steps
+	} else {
+		res.FinishStep = -1
+	}
+	for _, a := range agents {
+		res.Overhead.Add(a.Overhead)
+	}
+	return res, nil
+}
+
+// groupAll partitions agents by node including singleton groups, ordered
+// by node ID (deterministic).
+func groupAll(agents []*core.Agent) [][]*core.Agent {
+	groups := core.GroupByNode(agents)
+	seen := make(map[NodeID]bool, len(groups))
+	for _, g := range groups {
+		seen[g[0].At] = true
+	}
+	for _, a := range agents {
+		if !seen[a.At] {
+			groups = append(groups, []*core.Agent{a})
+			seen[a.At] = true
+		}
+	}
+	return groups
+}
+
+// placeAgents builds and randomly places the team.
+func placeAgents(w *network.World, sc Scenario, root *rng.Stream) ([]*core.Agent, error) {
+	place := root.Named("placement")
+	kinds := make([]core.PolicyKind, 0, sc.Agents)
+	if len(sc.Team) > 0 {
+		for _, t := range sc.Team {
+			for i := 0; i < t.Count; i++ {
+				kinds = append(kinds, t.Kind)
+			}
+		}
+	} else {
+		for i := 0; i < sc.Agents; i++ {
+			kinds = append(kinds, sc.Kind)
+		}
+	}
+	agents := make([]*core.Agent, len(kinds))
+	for i, kind := range kinds {
+		a, err := core.New(core.Config{
+			ID:            i,
+			Start:         NodeID(place.Intn(w.N())),
+			Kind:          kind,
+			NetworkSize:   w.N(),
+			Stigmergy:     sc.Stigmergy,
+			ShareTopology: sc.Cooperate,
+			VisitCapacity: sc.VisitCapacity,
+			Epsilon:       sc.Epsilon,
+			Stream:        root.Named("agent").Child(uint64(i)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mapping: %w", err)
+		}
+		agents[i] = a
+	}
+	return agents, nil
+}
+
+// Aggregate summarises a batch of runs of one parameter setting.
+type Aggregate struct {
+	// Runs is the number of runs attempted, Completed how many finished.
+	Runs, Completed int
+	// FinishTimes holds the finishing step of each completed run.
+	FinishTimes []int
+	// Finish summarises FinishTimes.
+	Finish stats.Summary
+	// AvgCurve is the pointwise mean of the per-run team-average curves.
+	AvgCurve []float64
+	// AvgMinCurve is the pointwise mean of the per-run slowest-agent
+	// curves.
+	AvgMinCurve []float64
+	// Overhead sums all runs' agent overhead.
+	Overhead core.Overhead
+}
+
+// RunMany executes runs independent runs, drawing run i's placement from
+// baseSeed+i. worldFor supplies the world for each run: return the same
+// static world every time, or generate a fresh one for dynamic mapping.
+func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
+	if runs <= 0 {
+		return Aggregate{}, fmt.Errorf("mapping: runs must be positive")
+	}
+	agg := Aggregate{Runs: runs}
+	curves := make([][]float64, 0, runs)
+	minCurves := make([][]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		w, err := worldFor(r)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		res, err := Run(w, sc, baseSeed+uint64(r))
+		if err != nil {
+			return Aggregate{}, err
+		}
+		if res.Finished {
+			agg.Completed++
+			agg.FinishTimes = append(agg.FinishTimes, res.FinishStep)
+		}
+		curves = append(curves, res.Curve)
+		minCurves = append(minCurves, res.MinCurve)
+		agg.Overhead.Add(res.Overhead)
+	}
+	agg.Finish = stats.Summarize(stats.Ints(agg.FinishTimes))
+	agg.AvgCurve = stats.AverageSeries(curves)
+	agg.AvgMinCurve = stats.AverageSeries(minCurves)
+	return agg, nil
+}
+
+// Accuracy compares an agent's reconstructed map against the world's
+// current topology and returns the fraction of nodes whose known
+// out-neighbour list exactly matches reality. Used by the degraded-network
+// extension, where "perfect knowledge" is a moving target.
+func Accuracy(a *core.Agent, w *network.World) float64 {
+	n := w.N()
+	if n == 0 {
+		return 1
+	}
+	match := 0
+	for u := 0; u < n; u++ {
+		if !a.Topo.Knows(NodeID(u)) {
+			continue
+		}
+		known := a.Topo.Neighbors(NodeID(u))
+		actual := w.Neighbors(NodeID(u))
+		if equalIDs(known, actual) {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+func equalIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MovesPerNode returns the team's exploration redundancy: agent
+// migrations per network node. A perfect division of labour with perfect
+// coordination would approach 1; Minar et al. frame this as the "work"
+// the system spends for its map.
+func (r Result) MovesPerNode(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(r.Overhead.Moves) / float64(n)
+}
+
+// MeetingRate returns meetings per agent migration — how social the run
+// was. Cooperation effects (good and pathological) scale with it.
+func (r Result) MeetingRate() float64 {
+	if r.Overhead.Moves == 0 {
+		return 0
+	}
+	return float64(r.Overhead.Meetings) / float64(r.Overhead.Moves)
+}

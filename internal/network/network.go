@@ -1,0 +1,192 @@
+// Package network models the wireless ad hoc network the agents live on:
+// node positions, radios, mobility, the gateway set, and the directed
+// topology induced by radio ranges. A World owns all of it and exposes a
+// per-step evolution (move nodes, drain batteries, recompute links).
+//
+// Link semantics follow the paper: there is a directed link u→v iff v lies
+// within u's *current* radio range. Heterogeneous ranges therefore produce
+// asymmetric links, and battery decay breaks links over time.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+)
+
+// NodeID aliases graph.NodeID for convenience.
+type NodeID = graph.NodeID
+
+// Config assembles a World. Positions, Radios and Movers must have equal
+// lengths; Gateways lists node IDs that act as stationary gateways.
+type Config struct {
+	Arena     geom.Rect
+	Positions []geom.Point
+	Radios    []radio.Radio
+	Movers    []mobility.Mover
+	Gateways  []NodeID
+}
+
+// World is the simulated wireless network.
+type World struct {
+	arena     geom.Rect
+	pos       []geom.Point
+	radios    []radio.Radio
+	fleet     *mobility.Fleet
+	gateways  []NodeID
+	isGateway []bool
+
+	grid    *geom.Grid
+	topo    *graph.Directed
+	step    int
+	dynamic bool // false ⇒ topology never changes after construction
+
+	nbrBuf []int32 // scratch for grid queries
+}
+
+// NewWorld validates cfg and builds the initial topology.
+func NewWorld(cfg Config) (*World, error) {
+	n := len(cfg.Positions)
+	if n == 0 {
+		return nil, fmt.Errorf("network: empty world")
+	}
+	if len(cfg.Radios) != n || len(cfg.Movers) != n {
+		return nil, fmt.Errorf("network: mismatched lengths: %d positions, %d radios, %d movers",
+			n, len(cfg.Radios), len(cfg.Movers))
+	}
+	w := &World{
+		arena:     cfg.Arena,
+		pos:       append([]geom.Point(nil), cfg.Positions...),
+		radios:    append([]radio.Radio(nil), cfg.Radios...),
+		fleet:     mobility.NewFleet(cfg.Movers),
+		isGateway: make([]bool, n),
+	}
+	for _, g := range cfg.Gateways {
+		if int(g) < 0 || int(g) >= n {
+			return nil, fmt.Errorf("network: gateway %d out of range [0,%d)", g, n)
+		}
+		if !w.isGateway[g] {
+			w.isGateway[g] = true
+			w.gateways = append(w.gateways, g)
+		}
+	}
+	maxRange := 0.0
+	for i := range w.radios {
+		if r := w.radios[i].BaseRange(); r > maxRange {
+			maxRange = r
+		}
+		if w.radios[i].Decays() {
+			w.dynamic = true
+		}
+	}
+	for _, m := range cfg.Movers {
+		if _, static := m.(mobility.Static); !static {
+			w.dynamic = true
+		}
+	}
+	if maxRange <= 0 {
+		return nil, fmt.Errorf("network: all radios have zero range")
+	}
+	w.grid = geom.NewGrid(cfg.Arena, n, maxRange)
+	w.rebuildTopology()
+	return w, nil
+}
+
+// N returns the number of nodes.
+func (w *World) N() int { return len(w.pos) }
+
+// StepCount returns how many times Step has been called.
+func (w *World) StepCount() int { return w.step }
+
+// Dynamic reports whether the topology can change over time.
+func (w *World) Dynamic() bool { return w.dynamic }
+
+// Pos returns node u's current position.
+func (w *World) Pos(u NodeID) geom.Point { return w.pos[u] }
+
+// Positions returns a copy of all node positions.
+func (w *World) Positions() []geom.Point {
+	return append([]geom.Point(nil), w.pos...)
+}
+
+// Radio returns a copy of node u's radio state.
+func (w *World) Radio(u NodeID) radio.Radio { return w.radios[u] }
+
+// Gateways returns the gateway node IDs. Callers must not modify the
+// returned slice.
+func (w *World) Gateways() []NodeID { return w.gateways }
+
+// IsGateway reports whether u is a gateway.
+func (w *World) IsGateway(u NodeID) bool { return w.isGateway[u] }
+
+// Topology returns the current directed topology. The returned graph is
+// owned by the World and valid until the next Step; callers must not
+// modify it.
+func (w *World) Topology() *graph.Directed { return w.topo }
+
+// Neighbors returns the current out-neighbours of u (nodes u can transmit
+// to). Callers must not modify the returned slice.
+func (w *World) Neighbors(u NodeID) []NodeID { return w.topo.Out(u) }
+
+// Step advances the world one time step: nodes move, batteries drain, and
+// the topology is recomputed. Static worlds skip the recompute.
+func (w *World) Step() {
+	w.step++
+	if !w.dynamic {
+		return
+	}
+	w.fleet.Step(w.pos)
+	for i := range w.radios {
+		w.radios[i].Step()
+	}
+	w.rebuildTopology()
+}
+
+// rebuildTopology recomputes the directed link graph from scratch using
+// the spatial grid.
+func (w *World) rebuildTopology() {
+	n := w.N()
+	g := graph.New(n)
+	w.grid.Rebuild(w.pos)
+	for u := 0; u < n; u++ {
+		r := w.radios[u].Range()
+		if r <= 0 {
+			continue
+		}
+		w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
+		for _, v := range w.nbrBuf {
+			g.AddEdge(NodeID(u), v)
+		}
+	}
+	g.SortAdjacency()
+	w.topo = g
+}
+
+// ConnectivityToGateways returns the fraction of non-gateway nodes that
+// can reach at least one gateway over the *current* topology. This is the
+// idealised (omniscient-routing) upper bound on the paper's connectivity
+// metric; the routing scenario measures the same fraction over
+// agent-maintained tables instead.
+func (w *World) ConnectivityToGateways() float64 {
+	if len(w.gateways) == 0 {
+		return 0
+	}
+	reach := w.topo.CanReachSet(w.gateways)
+	nonGateway, connected := 0, 0
+	for u := 0; u < w.N(); u++ {
+		if w.isGateway[u] {
+			continue
+		}
+		nonGateway++
+		if reach[u] {
+			connected++
+		}
+	}
+	if nonGateway == 0 {
+		return 1
+	}
+	return float64(connected) / float64(nonGateway)
+}

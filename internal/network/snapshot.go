@@ -1,0 +1,82 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+)
+
+// Snapshot is a serialisable capture of a world at one instant: node
+// positions, *current* radio ranges, and the gateway set. Loading a
+// snapshot yields a static world with exactly the captured topology —
+// mobility and battery state are deliberately not captured (movers carry
+// RNG state), so snapshots are for sharing fixture networks, not for
+// checkpointing dynamic runs. Dynamic runs are reproduced from
+// (spec, seed) instead.
+type Snapshot struct {
+	Arena     geom.Rect    `json:"arena"`
+	Positions []geom.Point `json:"positions"`
+	Ranges    []float64    `json:"ranges"`
+	Gateways  []NodeID     `json:"gateways,omitempty"`
+}
+
+// Snapshot captures the world's current geometry.
+func (w *World) Snapshot() Snapshot {
+	ranges := make([]float64, w.N())
+	for i := range ranges {
+		ranges[i] = w.radios[i].Range()
+	}
+	return Snapshot{
+		Arena:     w.arena,
+		Positions: w.Positions(),
+		Ranges:    ranges,
+		Gateways:  append([]NodeID(nil), w.gateways...),
+	}
+}
+
+// World builds a static world from the snapshot.
+func (s Snapshot) World() (*World, error) {
+	if len(s.Positions) != len(s.Ranges) {
+		return nil, fmt.Errorf("network: snapshot has %d positions but %d ranges",
+			len(s.Positions), len(s.Ranges))
+	}
+	radios := make([]radio.Radio, len(s.Ranges))
+	movers := make([]mobility.Mover, len(s.Ranges))
+	for i, r := range s.Ranges {
+		if r < 0 {
+			return nil, fmt.Errorf("network: snapshot range %d is negative", i)
+		}
+		radios[i] = radio.New(r)
+		movers[i] = mobility.Static{}
+	}
+	return NewWorld(Config{
+		Arena:     s.Arena,
+		Positions: s.Positions,
+		Radios:    radios,
+		Movers:    movers,
+		Gateways:  s.Gateways,
+	})
+}
+
+// WriteSnapshot serialises the world's snapshot as JSON.
+func WriteSnapshot(w *World, out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(w.Snapshot()); err != nil {
+		return fmt.Errorf("network: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot deserialises a snapshot and builds the static world.
+func ReadSnapshot(in io.Reader) (*World, error) {
+	var s Snapshot
+	if err := json.NewDecoder(in).Decode(&s); err != nil {
+		return nil, fmt.Errorf("network: decoding snapshot: %w", err)
+	}
+	return s.World()
+}

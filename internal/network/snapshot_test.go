@@ -1,0 +1,91 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := lineWorld(t, 5, 10, 10.5, 0, 4)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != orig.N() {
+		t.Fatalf("N = %d", loaded.N())
+	}
+	if !loaded.Topology().Equal(orig.Topology()) {
+		t.Fatal("topology changed through snapshot")
+	}
+	if len(loaded.Gateways()) != 2 || !loaded.IsGateway(0) || !loaded.IsGateway(4) {
+		t.Fatal("gateways lost")
+	}
+	if loaded.Dynamic() {
+		t.Fatal("loaded snapshot must be static")
+	}
+}
+
+func TestSnapshotCapturesCurrentRanges(t *testing.T) {
+	// A battery world decayed for a while snapshots at its CURRENT range.
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 9, Y: 0}}
+	w, err := NewWorld(Config{
+		Arena:     geom.Square(20),
+		Positions: pos,
+		Radios:    []radio.Radio{radio.NewBattery(10, 0.05, 0), radio.New(10)},
+		Movers:    []mobility.Mover{mobility.Static{}, mobility.Static{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.Step() // node 0's range drops below 9: link 0→1 dies
+	}
+	snap := w.Snapshot()
+	if snap.Ranges[0] >= 9 {
+		t.Fatalf("snapshot took base range, not current: %v", snap.Ranges[0])
+	}
+	loaded, err := snap.World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Topology().HasEdge(0, 1) {
+		t.Fatal("dead link resurrected by snapshot")
+	}
+	if !loaded.Topology().HasEdge(1, 0) {
+		t.Fatal("living link lost by snapshot")
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	bad := Snapshot{
+		Arena:     geom.Square(10),
+		Positions: []geom.Point{{X: 1, Y: 1}},
+		Ranges:    []float64{1, 2},
+	}
+	if _, err := bad.World(); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	neg := Snapshot{
+		Arena:     geom.Square(10),
+		Positions: []geom.Point{{X: 1, Y: 1}},
+		Ranges:    []float64{-1},
+	}
+	if _, err := neg.World(); err == nil {
+		t.Fatal("negative range accepted")
+	}
+}
+
+func TestReadSnapshotMalformed(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package network
+
+// Entry is one route in a node's routing table: to reach Gateway, forward
+// to NextHop; the depositing agent believed the gateway was Hops hops away
+// as of step Updated.
+type Entry struct {
+	Gateway NodeID
+	NextHop NodeID
+	Hops    int
+	Updated int
+}
+
+// Table is a node's routing table. Nodes run no routing protocol of their
+// own — only agents write entries — so the table is a passive, bounded
+// store: at most one entry per gateway and at most capacity entries
+// overall, evicting the stalest when full. The zero value is unusable;
+// construct with NewTable.
+type Table struct {
+	capacity int
+	entries  map[NodeID]Entry
+}
+
+// NewTable returns a table that holds at most capacity gateway entries.
+// capacity <= 0 means unbounded.
+func NewTable(capacity int) *Table {
+	return &Table{capacity: capacity, entries: make(map[NodeID]Entry)}
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Lookup returns the entry for the given gateway, if any.
+func (t *Table) Lookup(gw NodeID) (Entry, bool) {
+	e, ok := t.entries[gw]
+	return e, ok
+}
+
+// Entries returns all entries in unspecified order.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Update installs e unless a fresher (or equally fresh but shorter)
+// entry for the same gateway is already present. It reports whether the
+// table changed.
+func (t *Table) Update(e Entry) bool {
+	if old, ok := t.entries[e.Gateway]; ok {
+		if old.Updated > e.Updated {
+			return false
+		}
+		if old.Updated == e.Updated && old.Hops <= e.Hops {
+			return false
+		}
+		t.entries[e.Gateway] = e
+		return true
+	}
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		t.evictStalest()
+	}
+	t.entries[e.Gateway] = e
+	return true
+}
+
+// evictStalest removes the entry with the oldest Updated stamp, breaking
+// ties by larger hop count, then by gateway ID for determinism.
+func (t *Table) evictStalest() {
+	first := true
+	var victim NodeID
+	var worst Entry
+	for gw, e := range t.entries {
+		if first || staler(e, worst) {
+			victim, worst, first = gw, e, false
+		}
+	}
+	if !first {
+		delete(t.entries, victim)
+	}
+}
+
+// staler reports whether a is a worse entry to keep than b.
+func staler(a, b Entry) bool {
+	if a.Updated != b.Updated {
+		return a.Updated < b.Updated
+	}
+	if a.Hops != b.Hops {
+		return a.Hops > b.Hops
+	}
+	return a.Gateway < b.Gateway
+}
+
+// Clear removes all entries.
+func (t *Table) Clear() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+}

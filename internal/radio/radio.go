@@ -1,0 +1,96 @@
+// Package radio models each node's transmitter: a disc of a given radius
+// whose reach shrinks as the node's battery drains. Heterogeneous base
+// ranges make links asymmetric (u can hear v without v hearing u), turning
+// the topology into a directed graph — one of the paper's departures from
+// Minar et al.'s environment.
+package radio
+
+import "repro/internal/rng"
+
+// Radio is one node's transmitter. Construct with New; the zero value is a
+// dead radio (zero range).
+type Radio struct {
+	base     float64 // range at full battery
+	fraction float64 // remaining battery in [0, 1]
+	decay    float64 // battery fraction lost per step
+	floor    float64 // battery never drains below this fraction
+}
+
+// New returns a radio with the given base range that never decays.
+func New(baseRange float64) Radio {
+	return Radio{base: baseRange, fraction: 1, floor: 0}
+}
+
+// NewBattery returns a radio whose battery drains decayPerStep of its full
+// charge each step, but never below floorFraction. Its effective range is
+// base × battery fraction, so links sourced at this node drop over time —
+// the paper's "degradation on a percentage of radio links due to battery
+// power".
+func NewBattery(baseRange, decayPerStep, floorFraction float64) Radio {
+	if floorFraction < 0 {
+		floorFraction = 0
+	}
+	if floorFraction > 1 {
+		floorFraction = 1
+	}
+	return Radio{base: baseRange, fraction: 1, decay: decayPerStep, floor: floorFraction}
+}
+
+// Range returns the current transmission radius.
+func (r Radio) Range() float64 { return r.base * r.fraction }
+
+// BaseRange returns the full-battery transmission radius.
+func (r Radio) BaseRange() float64 { return r.base }
+
+// Battery returns the remaining battery fraction in [0, 1].
+func (r Radio) Battery() float64 { return r.fraction }
+
+// Decays reports whether this radio loses charge over time.
+func (r Radio) Decays() bool { return r.decay > 0 }
+
+// Step drains one step of battery.
+func (r *Radio) Step() {
+	if r.decay == 0 {
+		return
+	}
+	r.fraction -= r.decay
+	if r.fraction < r.floor {
+		r.fraction = r.floor
+	}
+}
+
+// Reaches reports whether a node with this radio at distance d can be
+// heard, i.e. d is within the current range.
+func (r Radio) Reaches(d float64) bool { return d <= r.Range() }
+
+// Profile describes how a population of radios is sampled. It is the
+// knob set experiments use to build heterogeneous networks.
+type Profile struct {
+	// MinRange and MaxRange bound the uniformly sampled base range.
+	// Equal values give a homogeneous network (Minar's assumption).
+	MinRange, MaxRange float64
+	// BatteryFraction of nodes get a decaying battery.
+	BatteryFraction float64
+	// DecayPerStep is the per-step charge loss for battery nodes.
+	DecayPerStep float64
+	// FloorFraction is the minimum battery level for battery nodes.
+	FloorFraction float64
+}
+
+// Sample draws n radios from the profile. The battery flag for node i is
+// drawn independently with probability BatteryFraction.
+func (p Profile) Sample(n int, s *rng.Stream) []Radio {
+	radios := make([]Radio, n)
+	for i := range radios {
+		base := p.MinRange
+		if p.MaxRange > p.MinRange {
+			base = s.Range(p.MinRange, p.MaxRange)
+		}
+		if p.BatteryFraction > 0 && s.Bool(p.BatteryFraction) {
+			radios[i] = NewBattery(base, p.DecayPerStep, p.FloorFraction)
+		} else {
+			radios[i] = New(base)
+		}
+	}
+	return radios
+}

@@ -1,0 +1,132 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewFullRange(t *testing.T) {
+	r := New(12)
+	if r.Range() != 12 || r.Battery() != 1 || r.Decays() {
+		t.Fatalf("unexpected state: range=%v battery=%v", r.Range(), r.Battery())
+	}
+	for i := 0; i < 100; i++ {
+		r.Step()
+	}
+	if r.Range() != 12 {
+		t.Fatalf("non-battery radio decayed to %v", r.Range())
+	}
+}
+
+func TestZeroValueDead(t *testing.T) {
+	var r Radio
+	if r.Range() != 0 || r.Reaches(0.1) {
+		t.Fatal("zero-value radio should be dead")
+	}
+}
+
+func TestBatteryDecay(t *testing.T) {
+	r := NewBattery(10, 0.01, 0.5)
+	if !r.Decays() {
+		t.Fatal("battery radio should decay")
+	}
+	r.Step()
+	if math.Abs(r.Range()-9.9) > 1e-9 {
+		t.Fatalf("range after one step = %v, want 9.9", r.Range())
+	}
+	for i := 0; i < 1000; i++ {
+		r.Step()
+	}
+	if math.Abs(r.Range()-5) > 1e-9 {
+		t.Fatalf("range should floor at 5, got %v", r.Range())
+	}
+	if math.Abs(r.Battery()-0.5) > 1e-9 {
+		t.Fatalf("battery should floor at 0.5, got %v", r.Battery())
+	}
+}
+
+func TestBatteryFloorClamping(t *testing.T) {
+	r := NewBattery(10, 0.5, -1)
+	for i := 0; i < 10; i++ {
+		r.Step()
+	}
+	if r.Range() != 0 {
+		t.Fatalf("negative floor should clamp to 0, range=%v", r.Range())
+	}
+	r2 := NewBattery(10, 0.5, 2)
+	r2.Step()
+	if r2.Range() != 10 {
+		t.Fatalf("floor > 1 should clamp to 1, range=%v", r2.Range())
+	}
+}
+
+func TestReaches(t *testing.T) {
+	r := New(5)
+	tests := []struct {
+		d    float64
+		want bool
+	}{
+		{0, true}, {5, true}, {5.0001, false}, {100, false},
+	}
+	for _, tt := range tests {
+		if got := r.Reaches(tt.d); got != tt.want {
+			t.Fatalf("Reaches(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestProfileHomogeneous(t *testing.T) {
+	p := Profile{MinRange: 7, MaxRange: 7}
+	radios := p.Sample(50, rng.New(1))
+	for i, r := range radios {
+		if r.Range() != 7 {
+			t.Fatalf("radio %d range %v, want 7", i, r.Range())
+		}
+		if r.Decays() {
+			t.Fatalf("radio %d should not decay", i)
+		}
+	}
+}
+
+func TestProfileHeterogeneousRanges(t *testing.T) {
+	p := Profile{MinRange: 5, MaxRange: 15}
+	radios := p.Sample(200, rng.New(2))
+	distinct := map[float64]bool{}
+	for i, r := range radios {
+		if r.Range() < 5 || r.Range() >= 15 {
+			t.Fatalf("radio %d range %v outside [5,15)", i, r.Range())
+		}
+		distinct[r.Range()] = true
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("expected diverse ranges, got %d distinct", len(distinct))
+	}
+}
+
+func TestProfileBatteryFraction(t *testing.T) {
+	p := Profile{MinRange: 10, MaxRange: 10, BatteryFraction: 0.4, DecayPerStep: 0.01}
+	radios := p.Sample(2000, rng.New(3))
+	battery := 0
+	for _, r := range radios {
+		if r.Decays() {
+			battery++
+		}
+	}
+	frac := float64(battery) / 2000
+	if math.Abs(frac-0.4) > 0.05 {
+		t.Fatalf("battery fraction %v, want ~0.4", frac)
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	p := Profile{MinRange: 5, MaxRange: 15, BatteryFraction: 0.3, DecayPerStep: 0.01}
+	a := p.Sample(100, rng.New(9))
+	b := p.Sample(100, rng.New(9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("samples diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package replay turns a recorded simulation trace back into analysable
+// structure: per-kind tallies, meeting-size distributions, per-agent
+// paths, node heat, and measurement curves. It is the analysis layer
+// behind cmd/tracestat and a building block for custom post-processing.
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Summary condenses a trace.
+type Summary struct {
+	// Events is the total event count, Steps the number of simulated
+	// steps covered (last step + 1).
+	Events, Steps int
+	// ByKind tallies events per kind.
+	ByKind map[trace.Kind]int
+	// MeetingSizes maps meeting size (number of co-located agents) to
+	// occurrence count.
+	MeetingSizes map[int]int
+	// AgentMoves maps agent ID to its migration count.
+	AgentMoves map[int32]int
+	// Measures is the per-step measurement curve (KindMeasure values in
+	// order).
+	Measures []float64
+	// MeasureName is the Extra label of the measurements (if any).
+	MeasureName string
+	// FinishStep is the step of the finish event, or -1.
+	FinishStep int
+}
+
+// Summarize scans events (in recorded order) into a Summary.
+func Summarize(events []trace.Event) Summary {
+	s := Summary{
+		ByKind:       make(map[trace.Kind]int),
+		MeetingSizes: make(map[int]int),
+		AgentMoves:   make(map[int32]int),
+		FinishStep:   -1,
+	}
+	for _, e := range events {
+		s.Events++
+		if e.Step+1 > s.Steps {
+			s.Steps = e.Step + 1
+		}
+		s.ByKind[e.Kind]++
+		switch e.Kind {
+		case trace.KindMeet:
+			s.MeetingSizes[int(e.Value)]++
+		case trace.KindMove:
+			s.AgentMoves[e.Agent]++
+		case trace.KindMeasure:
+			s.Measures = append(s.Measures, e.Value)
+			if s.MeasureName == "" {
+				s.MeasureName = e.Extra
+			}
+		case trace.KindFinish:
+			s.FinishStep = e.Step
+		}
+	}
+	return s
+}
+
+// AgentPath reconstructs the node sequence one agent occupied, starting
+// at its first recorded position. Steps where the agent stayed put do not
+// appear (only moves are traced).
+func AgentPath(events []trace.Event, agent int32) []int32 {
+	var path []int32
+	for _, e := range events {
+		if e.Kind != trace.KindMove || e.Agent != agent {
+			continue
+		}
+		if len(path) == 0 {
+			path = append(path, e.Node)
+		}
+		path = append(path, e.To)
+	}
+	return path
+}
+
+// NodeHeat returns, for each node in [0, n), how often agents arrived on
+// it, normalised so the hottest node is 1. Nodes never visited are 0.
+func NodeHeat(events []trace.Event, n int) []float64 {
+	counts := make([]float64, n)
+	maxC := 0.0
+	for _, e := range events {
+		if e.Kind != trace.KindMove || int(e.To) >= n || e.To < 0 {
+			continue
+		}
+		counts[e.To]++
+		if counts[e.To] > maxC {
+			maxC = counts[e.To]
+		}
+	}
+	if maxC > 0 {
+		for i := range counts {
+			counts[i] /= maxC
+		}
+	}
+	return counts
+}
+
+// DepositsPerStep returns the number of route deposits in each step.
+func DepositsPerStep(events []trace.Event) []int {
+	var out []int
+	for _, e := range events {
+		if e.Kind != trace.KindDeposit {
+			continue
+		}
+		for len(out) <= e.Step {
+			out = append(out, 0)
+		}
+		out[e.Step]++
+	}
+	return out
+}
+
+// MeetingSizesSorted returns the distribution as (size, count) pairs in
+// ascending size order.
+func (s Summary) MeetingSizesSorted() (sizes []int, counts []int) {
+	for sz := range s.MeetingSizes {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+	counts = make([]int, len(sizes))
+	for i, sz := range sizes {
+		counts[i] = s.MeetingSizes[sz]
+	}
+	return sizes, counts
+}
+
+// MoveStats returns min/max/total migrations across agents.
+func (s Summary) MoveStats() (agents, total, min, max int) {
+	min = -1
+	for _, m := range s.AgentMoves {
+		agents++
+		total += m
+		if min < 0 || m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return agents, total, min, max
+}
+
+// String renders a compact one-line description.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d events over %d steps (%d moves, %d meetings, %d deposits, %d measures)",
+		s.Events, s.Steps, s.ByKind[trace.KindMove], s.ByKind[trace.KindMeet],
+		s.ByKind[trace.KindDeposit], s.ByKind[trace.KindMeasure])
+}

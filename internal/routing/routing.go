@@ -1,0 +1,499 @@
+// Package routing implements the paper's second scenario: mobile agents
+// maintain the routing tables of a dynamic ad hoc network so that every
+// node keeps a multi-hop route to one of a few stationary gateways. Nodes
+// run no protocol of their own — agents wandering the network deposit
+// routes learned from their bounded trail back to the last gateway they
+// crossed.
+//
+// Each simulated step an agent (1) decides where to move next, (2) meets
+// co-located agents (optionally adopting the best gateway route and, for
+// oldest-node agents, merging visit histories), (3) moves, learning the
+// edge it travels, and (4) updates the routing table of the node it now
+// occupies. The metric is connectivity: the fraction of non-gateway nodes
+// whose routing-table forwarding chain actually reaches a gateway over the
+// current topology, averaged over the post-convergence window.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/stigmergy"
+	"repro/internal/trace"
+)
+
+// NodeID aliases network.NodeID.
+type NodeID = network.NodeID
+
+// Scenario configures one routing experiment.
+type Scenario struct {
+	// Agents is the population size.
+	Agents int
+	// Kind is PolicyRandom or PolicyOldestNode.
+	Kind core.PolicyKind
+	// Communicate enables the meeting exchange: everyone adopts the best
+	// gateway route; oldest-node agents additionally merge histories.
+	Communicate bool
+	// Stigmergy enables footprints (the paper's future work).
+	Stigmergy bool
+	// HistorySize bounds both the visit memory and the gateway trail —
+	// the paper's single "history size" knob (default 32).
+	HistorySize int
+	// TableCapacity bounds per-node routing tables. The default of 1
+	// matches the paper's "simple routing table": each node holds the
+	// single freshest route agents have offered it.
+	TableCapacity int
+	// Steps is the run length (default 300, as in the paper).
+	Steps int
+	// MeasureFrom is the start of the averaging window (default 150).
+	MeasureFrom int
+	// StigPerNode and StigWindow size the footprint board.
+	StigPerNode int
+	StigWindow  int
+	// Workers sizes the engine (0/1 = sequential).
+	Workers int
+	// Observer, if set, is called once per step after deposits and
+	// measurement, before the world moves — the hook the packet-level
+	// traffic harness uses to forward packets against live tables.
+	Observer func(step int, w *network.World, tables *Tables)
+	// Tracer, if set, receives structured events (moves, meetings,
+	// deposits, per-step connectivity). Events are emitted from
+	// sequential sections, so traces are reproducible with Workers <= 1.
+	Tracer trace.Tracer
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Agents <= 0 {
+		sc.Agents = 1
+	}
+	if sc.Kind == 0 {
+		sc.Kind = core.PolicyOldestNode
+	}
+	if sc.HistorySize <= 0 {
+		sc.HistorySize = 32
+	}
+	if sc.Steps <= 0 {
+		sc.Steps = 300
+	}
+	if sc.MeasureFrom <= 0 || sc.MeasureFrom >= sc.Steps {
+		sc.MeasureFrom = sc.Steps / 2
+	}
+	if sc.StigPerNode <= 0 {
+		sc.StigPerNode = 3
+	}
+	return sc
+}
+
+// Result reports one routing run.
+type Result struct {
+	// Connectivity is the per-step fraction of non-gateway nodes holding
+	// a route entry whose next hop is currently alive (LocalConnectivity)
+	// — the headline metric, matching what the paper's agents are tasked
+	// with maintaining.
+	Connectivity []float64
+	// EndToEnd is the stricter per-step fraction whose table chains
+	// actually reach a gateway over the current topology (Connectivity
+	// function). Always ≤ Ideal.
+	EndToEnd []float64
+	// Ideal is the per-step physical upper bound (omniscient routing).
+	Ideal []float64
+	// Mean and Std summarise Connectivity over the measurement window.
+	Mean, Std float64
+	// MeanEndToEnd summarises EndToEnd over the same window.
+	MeanEndToEnd float64
+	// Overhead aggregates all agents' cost counters.
+	Overhead core.Overhead
+}
+
+// Tables is the per-node routing state agents maintain.
+type Tables struct {
+	tables []*network.Table
+}
+
+// NewTables builds empty tables for n nodes with the given per-table
+// capacity.
+func NewTables(n, capacity int) *Tables {
+	ts := &Tables{tables: make([]*network.Table, n)}
+	for i := range ts.tables {
+		ts.tables[i] = network.NewTable(capacity)
+	}
+	return ts
+}
+
+// At returns node u's table.
+func (ts *Tables) At(u NodeID) *network.Table { return ts.tables[u] }
+
+// Best returns the preferred forwarding entry at node u: fewest hops,
+// then freshest, then lowest gateway ID. ok is false for an empty table.
+func (ts *Tables) Best(u NodeID) (network.Entry, bool) {
+	var best network.Entry
+	found := false
+	for _, e := range ts.tables[u].Entries() {
+		if !found || better(e, best) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+func better(a, b network.Entry) bool {
+	if a.Hops != b.Hops {
+		return a.Hops < b.Hops
+	}
+	if a.Updated != b.Updated {
+		return a.Updated > b.Updated
+	}
+	return a.Gateway < b.Gateway
+}
+
+// Reaches reports whether forwarding from u along the tables' best entries
+// arrives at any gateway over the current topology within maxWalk hops.
+// This is the honest validity check: every hop must exist right now, and
+// loops or empty tables fail the packet.
+func Reaches(w *network.World, ts *Tables, u NodeID, maxWalk int, visited []bool) bool {
+	for i := range visited {
+		visited[i] = false
+	}
+	cur := u
+	for hop := 0; hop <= maxWalk; hop++ {
+		if w.IsGateway(cur) {
+			return true
+		}
+		if visited[cur] {
+			return false // forwarding loop
+		}
+		visited[cur] = true
+		e, ok := ts.Best(cur)
+		if !ok {
+			return false
+		}
+		if !w.Topology().HasEdge(cur, e.NextHop) {
+			return false // link gone
+		}
+		cur = e.NextHop
+	}
+	return false
+}
+
+// ReachSet returns, for every node, whether some chain of routing-table
+// entries whose links all exist right now leads to a gateway. A node may
+// switch target gateway mid-path (any entry counts — "a valid route to at
+// least one gateway"), which matches nodes retrying their table entries.
+// One reverse BFS from the gateway set makes this O(N + entries).
+func ReachSet(w *network.World, ts *Tables) []bool {
+	n := w.N()
+	topo := w.Topology()
+	rev := make([][]NodeID, n)
+	for u := 0; u < n; u++ {
+		for _, e := range ts.tables[u].Entries() {
+			if topo.HasEdge(NodeID(u), e.NextHop) {
+				rev[e.NextHop] = append(rev[e.NextHop], NodeID(u))
+			}
+		}
+	}
+	seen := make([]bool, n)
+	queue := make([]NodeID, 0, n)
+	for _, g := range w.Gateways() {
+		seen[g] = true
+		queue = append(queue, g)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range rev[v] {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return seen
+}
+
+// LocalConnectivity returns the fraction of non-gateway nodes holding at
+// least one route entry whose next hop is currently a live neighbour.
+// This is the per-node view a deployed node actually has of its own
+// connectivity (it can verify its next hop, not the whole path), and it
+// rewards exactly what the agents are tasked with: covering every node
+// with fresh table updates.
+func LocalConnectivity(w *network.World, ts *Tables) float64 {
+	topo := w.Topology()
+	ok, total := 0, 0
+	for u := 0; u < w.N(); u++ {
+		if w.IsGateway(NodeID(u)) {
+			continue
+		}
+		total++
+		for _, e := range ts.tables[u].Entries() {
+			if topo.HasEdge(NodeID(u), e.NextHop) {
+				ok++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// Connectivity returns the fraction of non-gateway nodes that currently
+// reach a gateway through the tables (see ReachSet).
+func Connectivity(w *network.World, ts *Tables) float64 {
+	reach := ReachSet(w, ts)
+	reached, total := 0, 0
+	for u := 0; u < w.N(); u++ {
+		if w.IsGateway(NodeID(u)) {
+			continue
+		}
+		total++
+		if reach[u] {
+			reached++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(reached) / float64(total)
+}
+
+// Run executes one routing run on w. The world is consumed (stepped); use
+// a fresh world per run. Agent placement is drawn from seed.
+func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
+	sc = sc.withDefaults()
+	if len(w.Gateways()) == 0 {
+		return Result{}, fmt.Errorf("routing: world has no gateways")
+	}
+	switch sc.Kind {
+	case core.PolicyRandom, core.PolicyOldestNode:
+	default:
+		return Result{}, fmt.Errorf("routing: unsupported policy %v", sc.Kind)
+	}
+	root := rng.New(seed).Named("routing")
+	agents, err := placeAgents(w, sc, root)
+	if err != nil {
+		return Result{}, err
+	}
+	capacity := sc.TableCapacity
+	if capacity <= 0 {
+		capacity = 1
+	}
+	tables := NewTables(w.N(), capacity)
+	var board *stigmergy.Board
+	if sc.Stigmergy {
+		board = stigmergy.NewBoard(w.N(), sc.StigPerNode, sc.StigWindow)
+	}
+	engine := sim.NewEngine(sc.Workers)
+	next := make([]NodeID, len(agents))
+	res := Result{
+		Connectivity: make([]float64, 0, sc.Steps),
+		EndToEnd:     make([]float64, 0, sc.Steps),
+		Ideal:        make([]float64, 0, sc.Steps),
+	}
+
+	sim.Run(sc.Steps, func(step int) bool {
+		// Phase 1: decide (+ mark). Per-node groups keep stigmergic
+		// board access race-free and deterministic.
+		if sc.Stigmergy {
+			groups := groupAll(agents)
+			engine.ForEach(len(groups), func(g int) {
+				for _, a := range groups[g] {
+					next[a.ID] = a.Decide(board, step, w.Neighbors(a.At))
+				}
+			})
+		} else {
+			engine.ForEach(len(agents), func(i int) {
+				a := agents[i]
+				next[a.ID] = a.Decide(nil, step, w.Neighbors(a.At))
+			})
+		}
+		// Phase 2: meetings at the pre-move node.
+		if sc.Communicate && len(agents) > 1 {
+			groups := core.GroupByNode(agents)
+			if sc.Tracer != nil {
+				for _, g := range groups {
+					sc.Tracer.Emit(trace.Event{
+						Step: step, Kind: trace.KindMeet,
+						Node: int32(g[0].At), Value: float64(len(g)),
+					})
+				}
+			}
+			engine.ForEach(len(groups), func(g int) {
+				core.ExchangeRoutes(groups[g])
+			})
+		}
+		if sc.Tracer != nil {
+			for _, a := range agents {
+				if next[a.ID] != a.At {
+					sc.Tracer.Emit(trace.Event{
+						Step: step, Kind: trace.KindMove,
+						Agent: int32(a.ID), Node: int32(a.At), To: int32(next[a.ID]),
+					})
+				}
+			}
+		}
+		// Phase 3: move and record; Phase 4: deposit at the new node.
+		engine.ForEach(len(agents), func(i int) {
+			a := agents[i]
+			a.MoveTo(next[a.ID], w.IsGateway(next[a.ID]))
+			a.RecordHere(step)
+		})
+		// Deposits touch shared tables: keep them sequential in agent
+		// order. Table updates are freshest-wins, so order only breaks
+		// exact ties; fixing the order makes runs reproducible.
+		for _, a := range agents {
+			node := a.At
+			agent := a
+			a.DepositRoute(w.Neighbors(node), func(gw, hop NodeID, hops int) bool {
+				changed := tables.At(node).Update(network.Entry{
+					Gateway: gw, NextHop: hop, Hops: hops, Updated: step,
+				})
+				if changed && sc.Tracer != nil {
+					sc.Tracer.Emit(trace.Event{
+						Step: step, Kind: trace.KindDeposit,
+						Agent: int32(agent.ID), Node: int32(node), To: int32(gw),
+						Value: float64(hops),
+					})
+				}
+				return changed
+			})
+		}
+		// Measure, then let the world move.
+		res.Connectivity = append(res.Connectivity, LocalConnectivity(w, tables))
+		res.EndToEnd = append(res.EndToEnd, Connectivity(w, tables))
+		res.Ideal = append(res.Ideal, w.ConnectivityToGateways())
+		if sc.Tracer != nil {
+			sc.Tracer.Emit(trace.Event{
+				Step: step, Kind: trace.KindMeasure,
+				Value: res.Connectivity[len(res.Connectivity)-1], Extra: "connectivity",
+			})
+		}
+		if sc.Observer != nil {
+			sc.Observer(step, w, tables)
+		}
+		w.Step()
+		return false
+	})
+
+	res.Mean = stats.WindowMean(res.Connectivity, sc.MeasureFrom, sc.Steps)
+	res.Std = stats.WindowStd(res.Connectivity, sc.MeasureFrom, sc.Steps)
+	res.MeanEndToEnd = stats.WindowMean(res.EndToEnd, sc.MeasureFrom, sc.Steps)
+	for _, a := range agents {
+		res.Overhead.Add(a.Overhead)
+	}
+	return res, nil
+}
+
+// groupAll partitions agents by node including singletons (deterministic
+// order).
+func groupAll(agents []*core.Agent) [][]*core.Agent {
+	groups := core.GroupByNode(agents)
+	seen := make(map[NodeID]bool, len(groups))
+	for _, g := range groups {
+		seen[g[0].At] = true
+	}
+	for _, a := range agents {
+		if !seen[a.At] {
+			groups = append(groups, []*core.Agent{a})
+			seen[a.At] = true
+		}
+	}
+	return groups
+}
+
+func placeAgents(w *network.World, sc Scenario, root *rng.Stream) ([]*core.Agent, error) {
+	place := root.Named("placement")
+	agents := make([]*core.Agent, sc.Agents)
+	for i := range agents {
+		a, err := core.New(core.Config{
+			ID:            i,
+			Start:         NodeID(place.Intn(w.N())),
+			Kind:          sc.Kind,
+			NetworkSize:   w.N(),
+			Stigmergy:     sc.Stigmergy,
+			ShareRoutes:   sc.Communicate,
+			VisitCapacity: sc.HistorySize,
+			TrailCapacity: sc.HistorySize,
+			Stream:        root.Named("agent").Child(uint64(i)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+		// The paper's communicating oldest-node agents merge histories in
+		// meetings — the mechanism behind Fig 11's collapse.
+		if sc.Communicate && sc.Kind == core.PolicyOldestNode {
+			a.EnableVisitSharing(true)
+		}
+		// An agent injected on a gateway starts with an anchored trail.
+		if w.IsGateway(a.At) {
+			a.Trail.ResetAt(a.At)
+		}
+		agents[i] = a
+	}
+	return agents, nil
+}
+
+// Aggregate summarises a batch of runs of one parameter setting.
+type Aggregate struct {
+	Runs int
+	// Means holds each run's window-mean connectivity.
+	Means []float64
+	// Mean summarises Means across runs.
+	Mean stats.Summary
+	// EndToEnd summarises the runs' window-mean end-to-end connectivity.
+	EndToEnd stats.Summary
+	// Stability is the average within-run standard deviation over the
+	// window (lower = steadier connectivity).
+	Stability float64
+	// AvgSeries is the pointwise mean connectivity curve.
+	AvgSeries []float64
+	// AvgIdeal is the pointwise mean physical upper bound.
+	AvgIdeal []float64
+	// Overhead sums all runs' agent overhead.
+	Overhead core.Overhead
+}
+
+// RunMany executes runs independent runs. worldFor must return a FRESH
+// world per call; to follow the paper (same node placement and movements
+// in every run) regenerate from the same world seed each time.
+func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
+	if runs <= 0 {
+		return Aggregate{}, fmt.Errorf("routing: runs must be positive")
+	}
+	agg := Aggregate{Runs: runs}
+	series := make([][]float64, 0, runs)
+	ideal := make([][]float64, 0, runs)
+	stds := make([]float64, 0, runs)
+	e2e := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		w, err := worldFor(r)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		res, err := Run(w, sc, baseSeed+uint64(r))
+		if err != nil {
+			return Aggregate{}, err
+		}
+		if !math.IsNaN(res.Mean) {
+			agg.Means = append(agg.Means, res.Mean)
+		}
+		if !math.IsNaN(res.MeanEndToEnd) {
+			e2e = append(e2e, res.MeanEndToEnd)
+		}
+		stds = append(stds, res.Std)
+		series = append(series, res.Connectivity)
+		ideal = append(ideal, res.Ideal)
+		agg.Overhead.Add(res.Overhead)
+	}
+	agg.Mean = stats.Summarize(agg.Means)
+	agg.EndToEnd = stats.Summarize(e2e)
+	agg.Stability = stats.Mean(stds)
+	agg.AvgSeries = stats.AverageSeries(series)
+	agg.AvgIdeal = stats.AverageSeries(ideal)
+	return agg, nil
+}

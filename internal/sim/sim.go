@@ -1,0 +1,174 @@
+// Package sim provides the simulation machinery shared by both scenarios:
+// a time-step run loop, a deterministic parallel executor that maps agents
+// onto goroutines, and a small discrete-event queue used by the packet-
+// level validation harness.
+//
+// Determinism contract: the parallel executor only runs *independent* units
+// concurrently (per-agent learning, per-node meeting groups), so a
+// simulation produces bit-identical results whether workers is 1 or
+// runtime.NumCPU() — a property the engine equivalence tests pin down.
+package sim
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+)
+
+// Engine executes batches of independent work items, sequentially or on a
+// bounded worker pool.
+type Engine struct {
+	workers int
+}
+
+// NewEngine returns an engine running fn calls on the given number of
+// workers. workers <= 1 yields a purely sequential engine; workers == 0 is
+// normalised to 1. Use NewParallelEngine for a CPU-sized pool.
+func NewEngine(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{workers: workers}
+}
+
+// NewParallelEngine returns an engine sized to the machine.
+func NewParallelEngine() *Engine {
+	return NewEngine(runtime.NumCPU())
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Parallel reports whether the engine uses more than one goroutine.
+func (e *Engine) Parallel() bool { return e.workers > 1 }
+
+// ForEach invokes fn(i) for every i in [0, n). Calls MUST be mutually
+// independent when the engine is parallel; the engine blocks until all
+// complete. Order of execution is unspecified in parallel mode, so any
+// dependence on ordering is a bug in the caller.
+func (e *Engine) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if e.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// StepFunc advances a simulation one step and reports whether the run is
+// finished.
+type StepFunc func(step int) (done bool)
+
+// Run drives step 0..maxSteps-1, stopping early when fn reports done. It
+// returns the number of steps executed and whether fn completed before the
+// step budget ran out.
+func Run(maxSteps int, fn StepFunc) (steps int, completed bool) {
+	for step := 0; step < maxSteps; step++ {
+		if fn(step) {
+			return step + 1, true
+		}
+	}
+	return maxSteps, false
+}
+
+// Event is a scheduled callback in the discrete-event queue.
+type event struct {
+	at  int
+	seq int
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// EventQueue is a deterministic discrete-event scheduler: events fire in
+// time order, FIFO within a time. The zero value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	now int
+	seq int
+}
+
+// Now returns the time of the most recently fired event.
+func (q *EventQueue) Now() int { return q.now }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to fire at time at. Scheduling in the past (before
+// Now) is clamped to Now — the event fires next.
+func (q *EventQueue) Schedule(at int, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event is after deadline. It returns the number of events fired.
+func (q *EventQueue) RunUntil(deadline int) int {
+	fired := 0
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		ev := heap.Pop(&q.h).(event)
+		q.now = ev.at
+		ev.fn()
+		fired++
+	}
+	return fired
+}
+
+// Drain fires all remaining events and returns how many fired.
+func (q *EventQueue) Drain() int {
+	fired := 0
+	for len(q.h) > 0 {
+		ev := heap.Pop(&q.h).(event)
+		q.now = ev.at
+		ev.fn()
+		fired++
+	}
+	return fired
+}

@@ -1,0 +1,211 @@
+// Package stats implements the aggregation the experiments report: means,
+// dispersion, confidence intervals, and pointwise averaging of per-run time
+// series (the paper averages every data point over 40 independent runs).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CI95 returns the normal-approximation 95% confidence half-width of the
+// mean: 1.96·s/√n.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary bundles the descriptive statistics of a sample.
+type Summary struct {
+	N                    int
+	Mean, Std, Min, Max  float64
+	Median, P25, P75, CI float64
+}
+
+// Summarize computes a Summary. An empty sample yields zero values with
+// NaN mean/median.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs), CI: CI95(xs)}
+	if len(xs) == 0 {
+		s.Median = math.NaN()
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	return s
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f±%.2f sd=%.2f min=%.2f med=%.2f max=%.2f",
+		s.N, s.Mean, s.CI, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts an int sample to float64 for the helpers above.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// AverageSeries averages several per-run time series pointwise. Runs may
+// have different lengths (mapping runs stop when the task finishes);
+// shorter runs are padded by carrying their final value forward, which is
+// the right semantics for monotone knowledge curves — once a run reaches
+// 100% it stays there.
+func AverageSeries(runs [][]float64) []float64 {
+	maxLen := 0
+	for _, r := range runs {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]float64, maxLen)
+	for t := 0; t < maxLen; t++ {
+		sum, n := 0.0, 0
+		for _, r := range runs {
+			if len(r) == 0 {
+				continue
+			}
+			v := r[len(r)-1]
+			if t < len(r) {
+				v = r[t]
+			}
+			sum += v
+			n++
+		}
+		if n > 0 {
+			out[t] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// WindowMean averages xs over the index window [from, to), clamping the
+// bounds to the slice. It returns NaN if the window is empty.
+func WindowMean(xs []float64, from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(xs) {
+		to = len(xs)
+	}
+	if from >= to {
+		return math.NaN()
+	}
+	return Mean(xs[from:to])
+}
+
+// WindowStd returns the sample standard deviation over [from, to).
+func WindowStd(xs []float64, from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(xs) {
+		to = len(xs)
+	}
+	if from >= to {
+		return 0
+	}
+	return StdDev(xs[from:to])
+}
+
+// Downsample keeps every k-th point of xs (plus the final point), for
+// compact series printing. k <= 1 returns a copy.
+func Downsample(xs []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), xs...)
+	}
+	var out []float64
+	for i := 0; i < len(xs); i += k {
+		out = append(out, xs[i])
+	}
+	if len(xs) > 0 && (len(xs)-1)%k != 0 {
+		out = append(out, xs[len(xs)-1])
+	}
+	return out
+}
+
+// ConvergenceStep returns the first index from which the series stays
+// within eps of its tail mean (the mean over the last half of the
+// series), or -1 if it never settles. This is the "converged to its mean
+// behaviour" detector the routing experiments use to justify their
+// measurement window.
+func ConvergenceStep(xs []float64, eps float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	tail := Mean(xs[len(xs)/2:])
+	for start := 0; start < len(xs); start++ {
+		ok := true
+		for _, v := range xs[start:] {
+			if math.Abs(v-tail) > eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	return -1
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEq(got, tt.want) {
+				t.Fatalf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, math.Sqrt(32.0/7)) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev([]float64{3}) != 0 || StdDev(nil) != 0 {
+		t.Fatal("degenerate StdDev should be 0")
+	}
+	if StdDev([]float64{5, 5, 5}) != 0 {
+		t.Fatal("constant sample should have 0 sd")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if got := CI95(xs); !almostEq(got, want) {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single-sample CI should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || !almostEq(s.Mean, 2.5) || !almostEq(s.Min, 1) || !almostEq(s.Max, 4) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almostEq(s.Median, 2.5) {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Median) {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !almostEq(got, tt.want) {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEq(got, 1.5) {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("single-element quantile")
+	}
+}
+
+func TestInts(t *testing.T) {
+	out := Ints([]int{1, 2, 3})
+	if len(out) != 3 || out[2] != 3.0 {
+		t.Fatalf("Ints = %v", out)
+	}
+}
+
+func TestAverageSeriesEqualLengths(t *testing.T) {
+	avg := AverageSeries([][]float64{{1, 2, 3}, {3, 4, 5}})
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if !almostEq(avg[i], want[i]) {
+			t.Fatalf("avg = %v", avg)
+		}
+	}
+}
+
+func TestAverageSeriesPadsWithFinalValue(t *testing.T) {
+	avg := AverageSeries([][]float64{{0, 1}, {0, 0, 0, 1}})
+	// t=2: run0 padded with 1 → (1+0)/2; t=3: (1+1)/2.
+	want := []float64{0, 0.5, 0.5, 1}
+	if len(avg) != 4 {
+		t.Fatalf("len = %d", len(avg))
+	}
+	for i := range want {
+		if !almostEq(avg[i], want[i]) {
+			t.Fatalf("avg = %v, want %v", avg, want)
+		}
+	}
+}
+
+func TestAverageSeriesEmptyRuns(t *testing.T) {
+	if AverageSeries(nil) != nil {
+		t.Fatal("nil runs should give nil")
+	}
+	avg := AverageSeries([][]float64{nil, {2, 4}})
+	if len(avg) != 2 || !almostEq(avg[0], 2) {
+		t.Fatalf("avg with empty run = %v", avg)
+	}
+}
+
+func TestAverageSeriesMonotonePreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		// Monotone non-decreasing inputs must average to a monotone series.
+		r1 := []float64{0, 0.2, 0.5, 1}
+		r2 := []float64{0, 0.6, 1}
+		avg := AverageSeries([][]float64{r1, r2})
+		for i := 1; i < len(avg); i++ {
+			if avg[i] < avg[i-1]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := WindowMean(xs, 1, 4); !almostEq(got, 3) {
+		t.Fatalf("WindowMean = %v", got)
+	}
+	if got := WindowMean(xs, -5, 100); !almostEq(got, 3) {
+		t.Fatalf("clamped WindowMean = %v", got)
+	}
+	if !math.IsNaN(WindowMean(xs, 3, 3)) {
+		t.Fatal("empty window should be NaN")
+	}
+}
+
+func TestWindowStd(t *testing.T) {
+	xs := []float64{1, 1, 2, 4, 4, 4}
+	if got := WindowStd(xs, 0, 2); got != 0 {
+		t.Fatalf("constant window sd = %v", got)
+	}
+	if got := WindowStd(xs, 10, 20); got != 0 {
+		t.Fatal("empty window sd should be 0")
+	}
+	if WindowStd(xs, 0, len(xs)) != StdDev(xs) {
+		t.Fatal("full window should equal StdDev")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Downsample(xs, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Downsample = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Downsample = %v", got)
+		}
+	}
+	// Final point kept even when not on stride.
+	got = Downsample([]float64{0, 1, 2, 3}, 3)
+	if got[len(got)-1] != 3 {
+		t.Fatalf("final point dropped: %v", got)
+	}
+	// k<=1 copies.
+	cp := Downsample(xs, 1)
+	cp[0] = 99
+	if xs[0] == 99 {
+		t.Fatal("Downsample(1) shares storage")
+	}
+}
+
+func TestConvergenceStep(t *testing.T) {
+	// Ramp then plateau at 1.0 with tiny wiggle.
+	xs := []float64{0, 0.2, 0.5, 0.8, 0.99, 1.0, 0.99, 1.0, 1.0, 0.99, 1.0, 1.0}
+	got := ConvergenceStep(xs, 0.05)
+	if got != 4 {
+		t.Fatalf("ConvergenceStep = %d, want 4", got)
+	}
+	// Never settles.
+	saw := []float64{0, 1, 0, 1, 0, 1, 0, 1}
+	if got := ConvergenceStep(saw, 0.1); got != -1 {
+		t.Fatalf("oscillating series converged at %d", got)
+	}
+	// Constant series converges immediately.
+	if got := ConvergenceStep([]float64{5, 5, 5, 5}, 0.01); got != 0 {
+		t.Fatalf("constant series = %d", got)
+	}
+	if ConvergenceStep(nil, 0.1) != -1 {
+		t.Fatal("empty series should be -1")
+	}
+}

@@ -1,0 +1,120 @@
+// Package stigmergy implements the paper's footprint mechanism: before an
+// agent leaves a node it imprints its chosen next-hop there, and later
+// agents (or the same agent coming back) treat recently imprinted
+// neighbours as "someone already went that way" and prefer the others.
+// This is the inverse of ant pheromone trails — marks repel instead of
+// attract — and costs one table write per agent step.
+package stigmergy
+
+import "repro/internal/graph"
+
+// NodeID aliases graph.NodeID.
+type NodeID = graph.NodeID
+
+// Mark is one footprint: at Step, some agent left the node toward Target.
+type Mark struct {
+	Target NodeID
+	Step   int
+}
+
+// Board stores the footprints for every node in the network. Construct
+// with NewBoard.
+type Board struct {
+	perNode int
+	window  int // marks older than this many steps are ignored; 0 = forever
+	marks   [][]Mark
+}
+
+// NewBoard returns a board for an n-node network keeping at most perNode
+// recent marks per node (older marks are displaced). window limits how
+// long a mark stays relevant: a mark left at step s influences queries at
+// step q only while q-s < window; window 0 means marks never expire
+// (displacement is then the only forgetting mechanism).
+func NewBoard(n, perNode, window int) *Board {
+	if perNode < 1 {
+		perNode = 1
+	}
+	return &Board{
+		perNode: perNode,
+		window:  window,
+		marks:   make([][]Mark, n),
+	}
+}
+
+// PerNode returns the per-node mark capacity.
+func (b *Board) PerNode() int { return b.perNode }
+
+// Leave imprints "I am heading to target" on node at the given step.
+func (b *Board) Leave(node, target NodeID, step int) {
+	ms := b.marks[node]
+	// Replace an existing mark for the same target instead of duplicating.
+	for i := range ms {
+		if ms[i].Target == target {
+			ms[i].Step = step
+			b.marks[node] = ms
+			return
+		}
+	}
+	if len(ms) >= b.perNode {
+		// Displace the oldest mark (they are kept in arrival order, and
+		// same-target refreshes do not reorder, so index of the minimum
+		// step is the victim).
+		victim := 0
+		for i := 1; i < len(ms); i++ {
+			if ms[i].Step < ms[victim].Step {
+				victim = i
+			}
+		}
+		ms = append(ms[:victim], ms[victim+1:]...)
+	}
+	b.marks[node] = append(ms, Mark{Target: target, Step: step})
+}
+
+// active reports whether a mark still influences decisions at step.
+func (b *Board) active(m Mark, step int) bool {
+	if b.window <= 0 {
+		return true
+	}
+	return step-m.Step < b.window
+}
+
+// IsMarked reports whether node currently carries an active mark toward
+// target.
+func (b *Board) IsMarked(node, target NodeID, step int) bool {
+	for _, m := range b.marks[node] {
+		if m.Target == target && b.active(m, step) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unmarked appends to dst the candidates that carry no active mark on
+// node, and returns the extended slice. If every candidate is marked the
+// result is empty — callers then fall back to the full candidate set.
+func (b *Board) Unmarked(node NodeID, step int, candidates []NodeID, dst []NodeID) []NodeID {
+	for _, c := range candidates {
+		if !b.IsMarked(node, c, step) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// Marks returns a copy of the active marks on node at the given step.
+func (b *Board) Marks(node NodeID, step int) []Mark {
+	var out []Mark
+	for _, m := range b.marks[node] {
+		if b.active(m, step) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Reset clears every mark.
+func (b *Board) Reset() {
+	for i := range b.marks {
+		b.marks[i] = b.marks[i][:0]
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace records structured simulation events — agent moves,
+// meetings, route deposits, per-step measurements — so runs can be
+// inspected, replayed into analysis pipelines, or diffed across code
+// changes. Scenario harnesses emit events only from their sequential
+// sections, so a trace taken with Workers=1 is byte-for-byte reproducible.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the scenario harnesses.
+const (
+	KindMove    Kind = "move"    // Agent moved Node → To
+	KindMeet    Kind = "meet"    // a meeting of Value agents at Node
+	KindDeposit Kind = "deposit" // Agent wrote a route at Node toward To
+	KindMeasure Kind = "measure" // per-step metric; Extra names it
+	KindFinish  Kind = "finish"  // run completed at Step
+)
+
+// Event is one simulation occurrence.
+type Event struct {
+	Step  int     `json:"step"`
+	Kind  Kind    `json:"kind"`
+	Agent int32   `json:"agent,omitempty"`
+	Node  int32   `json:"node,omitempty"`
+	To    int32   `json:"to,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use
+// if the caller runs parallel phases; the harnesses only emit from
+// sequential sections.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Writer streams events as JSON Lines. Construct with NewWriter and Close
+// (or Flush) when done.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter returns a Tracer writing one JSON object per line to w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes the event. Encoding errors are deliberately swallowed —
+// tracing must never fail a simulation — but stop the writer counting.
+func (w *Writer) Emit(e Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(e); err == nil {
+		w.n++
+	}
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// Counter tallies events by kind without storing them — the cheap tracer
+// for tests and statistics.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Kind]int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[Kind]int)}
+}
+
+// Emit counts the event.
+func (c *Counter) Emit(e Event) {
+	c.mu.Lock()
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
+
+// Count returns how many events of kind were seen.
+func (c *Counter) Count(kind Kind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[kind]
+}
+
+// Buffer stores every event in memory, for tests and small runs.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Read parses a JSONL trace back into events.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}

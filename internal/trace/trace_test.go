@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{Step: 0, Kind: KindMove, Agent: 1, Node: 2, To: 3},
+		{Step: 1, Kind: KindMeet, Node: 5, Value: 3},
+		{Step: 2, Kind: KindMeasure, Value: 0.75, Extra: "connectivity"},
+		{Step: 3, Kind: KindFinish},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if w.Count() != len(events) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	_, err := Read(strings.NewReader("{\"step\":1}\nnot json\n"))
+	if err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read = %v, %v", got, err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Emit(Event{Kind: KindMove})
+	c.Emit(Event{Kind: KindMove})
+	c.Emit(Event{Kind: KindMeet})
+	if c.Count(KindMove) != 2 || c.Count(KindMeet) != 1 || c.Count(KindFinish) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestBuffer(t *testing.T) {
+	var b Buffer
+	b.Emit(Event{Step: 1, Kind: KindDeposit})
+	b.Emit(Event{Step: 2, Kind: KindDeposit})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	es := b.Events()
+	es[0].Step = 99
+	if b.Events()[0].Step == 99 {
+		t.Fatal("Events leaked internal storage")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	c := NewCounter()
+	var b Buffer
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				e := Event{Step: i, Kind: KindMove}
+				w.Emit(e)
+				c.Emit(e)
+				b.Emit(e)
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Count() != 800 || c.Count(KindMove) != 800 || b.Len() != 800 {
+		t.Fatalf("lost events: %d %d %d", w.Count(), c.Count(KindMove), b.Len())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got) != 800 {
+		t.Fatalf("read %d, %v", len(got), err)
+	}
+}
