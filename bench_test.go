@@ -23,6 +23,7 @@ func mapWorld(b *testing.B) *agentmesh.World {
 // benchMapping runs one mapping run per iteration.
 func benchMapping(b *testing.B, sc agentmesh.MappingScenario) {
 	w := mapWorld(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := agentmesh.RunMapping(w, sc, uint64(i)+1)
@@ -38,6 +39,7 @@ func benchMapping(b *testing.B, sc agentmesh.MappingScenario) {
 // benchRouting runs one 300-step routing run per iteration on a fresh
 // world (the world trace is identical every time, as in the paper).
 func benchRouting(b *testing.B, sc agentmesh.RoutingScenario) {
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w, err := agentmesh.RoutingNetwork(1)
@@ -127,6 +129,7 @@ func BenchmarkExtBaselines(b *testing.B) {
 	if testing.Short() {
 		b.Skip("extC regenerates multiple settings per iteration")
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := agentmesh.Figure("extC", agentmesh.ExperimentConfig{Runs: 1, Quick: true}); err != nil {
 			b.Fatal(err)
@@ -135,6 +138,7 @@ func BenchmarkExtBaselines(b *testing.B) {
 }
 
 func BenchmarkExtDelivery(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w, err := agentmesh.RoutingNetwork(1)
 		if err != nil {
@@ -151,6 +155,7 @@ func BenchmarkExtDelivery(b *testing.B) {
 }
 
 func BenchmarkNetworkGenerationMapping300(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := agentmesh.MappingNetwork(uint64(i) + 1); err != nil {
 			b.Fatal(err)
@@ -159,6 +164,7 @@ func BenchmarkNetworkGenerationMapping300(b *testing.B) {
 }
 
 func BenchmarkNetworkGenerationRouting250(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := agentmesh.RoutingNetwork(uint64(i) + 1); err != nil {
 			b.Fatal(err)
@@ -181,6 +187,7 @@ func BenchmarkParallelVsSequentialMapping(b *testing.B) {
 			if workers == 0 {
 				sc.Workers = 8
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := agentmesh.RunMapping(w, sc, uint64(i)+1); err != nil {

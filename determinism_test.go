@@ -1,0 +1,101 @@
+// Determinism regression tests: each pins the exact Result of one seeded
+// run — finishing time, window statistics to full float precision, and a
+// position-weighted checksum of every per-step series. The hot-path
+// optimisations (reusable CSR topology, scratch-buffered connectivity,
+// pooled meetings) must preserve these values bit for bit; the pins were
+// recorded on the pre-optimisation implementation, so a pass proves the
+// rewrite changes nothing observable.
+package agentmesh_test
+
+import (
+	"math"
+	"testing"
+
+	agentmesh "repro"
+)
+
+// pinF64 asserts got matches the pinned value exactly (by bit pattern, so
+// NaN pins would also compare equal).
+func pinF64(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s = %.17g (bits %#x), pinned %.17g (bits %#x)",
+			name, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// weightedSum collapses a per-step series into one order-sensitive value:
+// any change to any step, or to the series length, moves it.
+func weightedSum(xs []float64) float64 {
+	var sum float64
+	for i, x := range xs {
+		sum += x * float64(i+1)
+	}
+	return sum
+}
+
+func TestMappingResultPinned(t *testing.T) {
+	w, err := agentmesh.MappingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agentmesh.RunMapping(w, agentmesh.MappingScenario{
+		Agents: 15, Kind: agentmesh.PolicyConscientious, Cooperate: true,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("pinned mapping run did not finish")
+	}
+	if res.FinishStep != 439 {
+		t.Errorf("FinishStep = %d, pinned 439", res.FinishStep)
+	}
+	if len(res.Curve) != 439 {
+		t.Errorf("len(Curve) = %d, pinned 439", len(res.Curve))
+	}
+	pinF64(t, "Curve[last]", res.Curve[len(res.Curve)-1], 1.0)
+	if res.Overhead.Moves != 6570 {
+		t.Errorf("Overhead.Moves = %d, pinned 6570", res.Overhead.Moves)
+	}
+	if res.Overhead.Meetings != 305 {
+		t.Errorf("Overhead.Meetings = %d, pinned 305", res.Overhead.Meetings)
+	}
+	if res.Overhead.TopoRecordsReceived != 3334 {
+		t.Errorf("Overhead.TopoRecordsReceived = %d, pinned 3334", res.Overhead.TopoRecordsReceived)
+	}
+}
+
+func TestRoutingResultPinned(t *testing.T) {
+	w, err := agentmesh.RoutingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agentmesh.RunRouting(w, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinF64(t, "Mean", res.Mean, 0.5755462184873954)
+	pinF64(t, "Std", res.Std, 0.048004049731793105)
+	pinF64(t, "MeanEndToEnd", res.MeanEndToEnd, 0.16014005602240894)
+	pinF64(t, "weightedSum(Connectivity)", weightedSum(res.Connectivity), 27373.436974789918)
+	pinF64(t, "weightedSum(EndToEnd)", weightedSum(res.EndToEnd), 7898.5840336134479)
+	pinF64(t, "weightedSum(Ideal)", weightedSum(res.Ideal), 44870.789915966387)
+	if res.Overhead.Moves != 29926 {
+		t.Errorf("Overhead.Moves = %d, pinned 29926", res.Overhead.Moves)
+	}
+	if res.Overhead.Meetings != 28527 {
+		t.Errorf("Overhead.Meetings = %d, pinned 28527", res.Overhead.Meetings)
+	}
+	if res.Overhead.TrailAdoptions != 624 {
+		t.Errorf("Overhead.TrailAdoptions = %d, pinned 624", res.Overhead.TrailAdoptions)
+	}
+	if res.Overhead.RouteDeposits != 3704 {
+		t.Errorf("Overhead.RouteDeposits = %d, pinned 3704", res.Overhead.RouteDeposits)
+	}
+	if res.Overhead.VisitRecordsReceived != 17966 {
+		t.Errorf("Overhead.VisitRecordsReceived = %d, pinned 17966", res.Overhead.VisitRecordsReceived)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestGrouperMatchesGroupByNode drives one reused Grouper over many random
+// agent placements and checks Meetings against the convenience form, and
+// All against the documented order (meetings by node, then singletons in
+// agent order).
+func TestGrouperMatchesGroupByNode(t *testing.T) {
+	const n = 20
+	agents := make([]*Agent, 12)
+	for i := range agents {
+		agents[i] = mkAgent(t, i, 0, PolicyRandom, nil)
+	}
+	gr := NewGrouper(n)
+	s := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		for _, a := range agents {
+			a.At = NodeID(s.Intn(n))
+		}
+		want := GroupByNode(agents)
+		got := gr.Meetings(agents)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d meetings, want %d", trial, len(got), len(want))
+		}
+		for g := range want {
+			if len(got[g]) != len(want[g]) {
+				t.Fatalf("trial %d group %d: size %d, want %d", trial, g, len(got[g]), len(want[g]))
+			}
+			for m := range want[g] {
+				if got[g][m] != want[g][m] {
+					t.Fatalf("trial %d group %d member %d differs", trial, g, m)
+				}
+			}
+		}
+
+		all := gr.All(agents)
+		covered := 0
+		for _, g := range all {
+			covered += len(g)
+		}
+		if covered != len(agents) {
+			t.Fatalf("trial %d: All covers %d agents, want %d", trial, covered, len(agents))
+		}
+		// Meetings first (node order), then singletons in agent order.
+		meetings := 0
+		for _, g := range all {
+			if len(g) > 1 {
+				meetings++
+			}
+		}
+		prevNode := NodeID(-1)
+		for _, g := range all[:meetings] {
+			if len(g) < 2 {
+				t.Fatalf("trial %d: singleton before meetings end", trial)
+			}
+			if g[0].At <= prevNode {
+				t.Fatalf("trial %d: meetings not in node order", trial)
+			}
+			prevNode = g[0].At
+		}
+		prevID := NodeID(-1)
+		for _, g := range all[meetings:] {
+			if len(g) != 1 {
+				t.Fatalf("trial %d: meeting after singletons start", trial)
+			}
+			if g[0].ID <= prevID {
+				t.Fatalf("trial %d: singletons not in agent order", trial)
+			}
+			prevID = g[0].ID
+		}
+	}
+}
+
+// TestGrouperZeroAllocs enforces the allocation budget: a warmed Grouper
+// must partition without allocating.
+func TestGrouperZeroAllocs(t *testing.T) {
+	const n = 20
+	agents := make([]*Agent, 16)
+	for i := range agents {
+		agents[i] = mkAgent(t, i, NodeID(i%5), PolicyRandom, nil)
+	}
+	gr := NewGrouper(n)
+	gr.Meetings(agents)
+	gr.All(agents)
+	if avg := testing.AllocsPerRun(50, func() { gr.Meetings(agents) }); avg != 0 {
+		t.Fatalf("Grouper.Meetings allocates %v per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { gr.All(agents) }); avg != 0 {
+		t.Fatalf("Grouper.All allocates %v per run, want 0", avg)
+	}
+}

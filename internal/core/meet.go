@@ -1,32 +1,123 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/knowledge"
 )
 
+// Grouper partitions agents by the node they occupy using reusable
+// node-indexed buckets (a counting sort), replacing the per-step map the
+// simulation loops used to allocate. One Grouper serves a whole run; the
+// group slices its methods return are views into internal storage and are
+// valid until the next call.
+type Grouper struct {
+	count   []int32  // per-node occupancy this round
+	cursor  []int32  // per-node fill cursors / end offsets
+	touched []NodeID // nodes with at least one agent this round
+	members []*Agent // all agents, bucketed by node
+	groups  [][]*Agent
+}
+
+// NewGrouper returns a grouper for a network of n nodes.
+func NewGrouper(n int) *Grouper {
+	return &Grouper{count: make([]int32, n), cursor: make([]int32, n)}
+}
+
+// Meetings returns the groups with at least two members, ordered by node
+// ID with members in input order — the same deterministic contract as
+// GroupByNode.
+func (gr *Grouper) Meetings(agents []*Agent) [][]*Agent {
+	return gr.group(agents, false)
+}
+
+// All returns the meeting groups (node order) followed by singleton groups
+// in agent input order — the partition the stigmergic decide phase
+// parallelises over.
+func (gr *Grouper) All(agents []*Agent) [][]*Agent {
+	return gr.group(agents, true)
+}
+
+func (gr *Grouper) group(agents []*Agent, singletons bool) [][]*Agent {
+	gr.touched = gr.touched[:0]
+	for _, a := range agents {
+		if gr.count[a.At] == 0 {
+			gr.touched = append(gr.touched, a.At)
+		}
+		gr.count[a.At]++
+	}
+	slices.Sort(gr.touched)
+	if cap(gr.members) < len(agents) {
+		gr.members = make([]*Agent, len(agents))
+	}
+	gr.members = gr.members[:len(agents)]
+	cum := int32(0)
+	for _, node := range gr.touched {
+		gr.cursor[node] = cum
+		cum += gr.count[node]
+	}
+	for _, a := range agents {
+		gr.members[gr.cursor[a.At]] = a
+		gr.cursor[a.At]++
+	}
+	// cursor[node] now holds the end offset of node's bucket.
+	gr.groups = gr.groups[:0]
+	for _, node := range gr.touched {
+		if gr.count[node] > 1 {
+			end := gr.cursor[node]
+			start := end - gr.count[node]
+			gr.groups = append(gr.groups, gr.members[start:end:end])
+		}
+	}
+	if singletons {
+		for _, a := range agents {
+			if gr.count[a.At] == 1 {
+				end := gr.cursor[a.At]
+				gr.groups = append(gr.groups, gr.members[end-1:end:end])
+			}
+		}
+	}
+	for _, node := range gr.touched {
+		gr.count[node] = 0
+	}
+	return gr.groups
+}
+
 // GroupByNode partitions agents by the node they currently occupy and
 // returns only the groups with at least two members — the meetings.
 // Groups are ordered by node ID and members keep the order of the input
-// slice, so meeting processing is deterministic.
+// slice, so meeting processing is deterministic. Simulation loops should
+// hold a Grouper instead; this convenience form sizes one per call.
 func GroupByNode(agents []*Agent) [][]*Agent {
-	byNode := make(map[NodeID][]*Agent)
+	maxNode := NodeID(-1)
 	for _, a := range agents {
-		byNode[a.At] = append(byNode[a.At], a)
-	}
-	nodes := make([]NodeID, 0, len(byNode))
-	for n, g := range byNode {
-		if len(g) > 1 {
-			nodes = append(nodes, n)
+		if a.At > maxNode {
+			maxNode = a.At
 		}
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	groups := make([][]*Agent, 0, len(nodes))
-	for _, n := range nodes {
-		groups = append(groups, byNode[n])
-	}
-	return groups
+	return NewGrouper(int(maxNode + 1)).Meetings(agents)
+}
+
+// meetScratch holds the buffers a meeting needs. Meetings run concurrently
+// across co-located groups, so the scratch is pooled rather than shared.
+type meetScratch struct {
+	sharers []*Agent
+	vs      []*Agent
+	holder  []int16
+	mems    []*knowledge.Visits
+	merge   knowledge.MergeScratch
+}
+
+var meetPool = sync.Pool{New: func() any { return new(meetScratch) }}
+
+// release clears the agent pointers (so pooled scratch does not pin a
+// finished run's agents) and returns the scratch to the pool.
+func (ms *meetScratch) release() {
+	clear(ms.sharers)
+	clear(ms.vs)
+	clear(ms.mems)
+	meetPool.Put(ms)
 }
 
 // ExchangeTopology runs the mapping-scenario meeting for one co-located
@@ -36,12 +127,15 @@ func GroupByNode(agents []*Agent) [][]*Agent {
 // order. Agents flagged super-conscientious additionally merge visit
 // histories — that is what lets peer experience steer their movement.
 func ExchangeTopology(group []*Agent) {
-	sharers := group[:0:0]
+	ms := meetPool.Get().(*meetScratch)
+	defer ms.release()
+	sharers := ms.sharers[:0]
 	for _, a := range group {
 		if a.SharesTopology() {
 			sharers = append(sharers, a)
 		}
 	}
+	ms.sharers = sharers
 	if len(sharers) < 2 {
 		return
 	}
@@ -52,7 +146,10 @@ func ExchangeTopology(group []*Agent) {
 	// whether it knew the record first- or second-hand, so direct
 	// transfer preserves the simultaneous-exchange semantics.
 	n := sharers[0].Topo.N()
-	holder := make([]int16, n)
+	if cap(ms.holder) < n {
+		ms.holder = make([]int16, n)
+	}
+	holder := ms.holder[:n]
 	for u := 0; u < n; u++ {
 		holder[u] = -1
 		for j, a := range sharers {
@@ -73,27 +170,32 @@ func ExchangeTopology(group []*Agent) {
 			a.Overhead.TopoRecordsReceived++
 		}
 	}
-	mergeVisitSharers(sharers)
+	mergeVisitSharers(sharers, ms)
 	unifySalts(sharers)
 }
 
 // mergeVisitSharers merges the visit histories of the group's
 // visit-sharing members into their union.
-func mergeVisitSharers(group []*Agent) {
-	vs := group[:0:0]
+func mergeVisitSharers(group []*Agent, ms *meetScratch) {
+	vs := ms.vs[:0]
 	for _, a := range group {
 		if a.SharesVisits() {
 			vs = append(vs, a)
 		}
 	}
+	ms.vs = vs
 	if len(vs) < 2 {
 		return
 	}
-	mems := make([]*knowledge.Visits, len(vs))
+	if cap(ms.mems) < len(vs) {
+		ms.mems = make([]*knowledge.Visits, len(vs))
+	}
+	mems := ms.mems[:len(vs)]
 	for i, a := range vs {
 		mems[i] = a.Visits
 	}
-	changed := knowledge.MergeAll(mems)
+	ms.mems = mems
+	changed := ms.merge.MergeAll(mems)
 	for i, a := range vs {
 		a.Overhead.VisitRecordsReceived += changed[i]
 	}
@@ -127,12 +229,15 @@ func unifySalts(group []*Agent) {
 // them — the mechanism the paper identifies as making oldest-node agents
 // identical after a meeting, so they chase one another.
 func ExchangeRoutes(group []*Agent) {
-	sharers := group[:0:0]
+	ms := meetPool.Get().(*meetScratch)
+	defer ms.release()
+	sharers := ms.sharers[:0]
 	for _, a := range group {
 		if a.SharesRoutes() {
 			sharers = append(sharers, a)
 		}
 	}
+	ms.sharers = sharers
 	if len(sharers) < 2 {
 		return
 	}
@@ -152,6 +257,6 @@ func ExchangeRoutes(group []*Agent) {
 			a.Overhead.TrailAdoptions++
 		}
 	}
-	mergeVisitSharers(sharers)
+	mergeVisitSharers(sharers, ms)
 	unifySalts(sharers)
 }

@@ -5,7 +5,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a node. IDs are dense: a graph over n nodes uses
@@ -14,15 +14,55 @@ type NodeID = int32
 
 // Directed is a directed graph stored as out-adjacency lists. The zero
 // value is an empty graph with no nodes; use New to size one.
+//
+// Two build paths exist. AddEdge grows per-node lists one edge at a time
+// and suits generators. SetOut (after Reset) lays all adjacency out in one
+// flat edge array, CSR style, so a graph that is rebuilt every simulation
+// step reuses one backing allocation instead of reallocating per node.
 type Directed struct {
-	out [][]NodeID
-	in  [][]NodeID // maintained lazily; nil until ensureIn
-	m   int        // edge count
+	out   [][]NodeID // per-node views; SetOut aliases them into edges
+	edges []NodeID   // flat backing storage for SetOut builds
+	m     int        // edge count
+
+	// Reverse adjacency in CSR form (inOff has n+1 offsets into inEdges),
+	// built lazily by ensureIn and reused across Reset cycles.
+	inOff   []int32
+	inEdges []NodeID
+	inOK    bool
 }
 
 // New returns a directed graph with n nodes and no edges.
 func New(n int) *Directed {
 	return &Directed{out: make([][]NodeID, n)}
+}
+
+// Reset clears g to n nodes and no edges, keeping the backing storage of
+// previous builds so a per-step rebuild settles into zero allocations.
+func (g *Directed) Reset(n int) {
+	if cap(g.out) < n {
+		g.out = make([][]NodeID, n)
+	}
+	g.out = g.out[:n]
+	for i := range g.out {
+		g.out[i] = nil
+	}
+	g.edges = g.edges[:0]
+	g.m = 0
+	g.inOK = false
+}
+
+// SetOut replaces u's out-neighbour list with a sorted copy of neighbors,
+// stored in the graph's flat edge array. The caller guarantees neighbors
+// holds no duplicates and not u itself (AddEdge enforces those; SetOut is
+// the fast path for rebuilds that already know the list is clean).
+func (g *Directed) SetOut(u NodeID, neighbors []NodeID) {
+	g.m += len(neighbors) - len(g.out[u])
+	start := len(g.edges)
+	g.edges = append(g.edges, neighbors...)
+	adj := g.edges[start:len(g.edges):len(g.edges)]
+	slices.Sort(adj)
+	g.out[u] = adj
+	g.inOK = false
 }
 
 // N returns the number of nodes.
@@ -44,7 +84,7 @@ func (g *Directed) AddEdge(u, v NodeID) bool {
 	}
 	g.out[u] = append(g.out[u], v)
 	g.m++
-	g.in = nil
+	g.inOK = false
 	return true
 }
 
@@ -70,29 +110,57 @@ func (g *Directed) OutDegree(u NodeID) int { return len(g.out[u]) }
 // is independent of insertion order.
 func (g *Directed) SortAdjacency() {
 	for _, adj := range g.out {
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		slices.Sort(adj)
 	}
-	g.in = nil
+	g.inOK = false
 }
 
-// ensureIn builds the in-adjacency lists if absent.
+// ensureIn builds the reverse adjacency in CSR form if stale, reusing the
+// offset and edge buffers from previous builds.
 func (g *Directed) ensureIn() {
-	if g.in != nil {
+	if g.inOK {
 		return
 	}
-	g.in = make([][]NodeID, len(g.out))
-	for u, adj := range g.out {
+	n := len(g.out)
+	if cap(g.inOff) < n+1 {
+		g.inOff = make([]int32, n+1)
+	}
+	g.inOff = g.inOff[:n+1]
+	for i := range g.inOff {
+		g.inOff[i] = 0
+	}
+	for _, adj := range g.out {
 		for _, v := range adj {
-			g.in[v] = append(g.in[v], NodeID(u))
+			g.inOff[v+1]++
 		}
 	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	if cap(g.inEdges) < g.m {
+		g.inEdges = make([]NodeID, g.m)
+	}
+	g.inEdges = g.inEdges[:g.m]
+	// Fill using inOff[v] as a cursor; afterwards inOff[v] has advanced to
+	// the start of v+1's range, so shift offsets back by one node.
+	for u, adj := range g.out {
+		for _, v := range adj {
+			g.inEdges[g.inOff[v]] = NodeID(u)
+			g.inOff[v]++
+		}
+	}
+	for v := n; v > 0; v-- {
+		g.inOff[v] = g.inOff[v-1]
+	}
+	g.inOff[0] = 0
+	g.inOK = true
 }
 
 // In returns the in-neighbours of v. The returned slice is owned by the
-// graph; callers must not modify it.
+// graph and valid until the next mutation; callers must not modify it.
 func (g *Directed) In(v NodeID) []NodeID {
 	g.ensureIn()
-	return g.in[v]
+	return g.inEdges[g.inOff[v]:g.inOff[v+1]]
 }
 
 // Clone returns a deep copy of g.
@@ -133,9 +201,8 @@ func (g *Directed) BFSFrom(src NodeID) []int32 {
 	dist[src] = 0
 	queue := make([]NodeID, 0, g.N())
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.out[u] {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
@@ -165,30 +232,53 @@ func (g *Directed) ReachableFrom(src NodeID) []bool {
 	return seen
 }
 
+// ReachScratch holds the reusable buffers of CanReachSetScratch. The zero
+// value is ready; buffers grow on first use and are then reused.
+type ReachScratch struct {
+	seen  []bool
+	queue []NodeID
+}
+
 // CanReachSet returns, for every node, whether some member of targets is
 // reachable from it. It runs one reverse BFS from the target set, so it is
 // O(N + M) regardless of |targets|.
 func (g *Directed) CanReachSet(targets []NodeID) []bool {
+	var s ReachScratch
+	return g.CanReachSetScratch(targets, &s)
+}
+
+// CanReachSetScratch is CanReachSet with caller-owned scratch buffers: the
+// returned slice aliases s and is valid until the next call with the same
+// scratch. Per-step metric loops use it to avoid two allocations per step.
+func (g *Directed) CanReachSetScratch(targets []NodeID, s *ReachScratch) []bool {
 	g.ensureIn()
-	seen := make([]bool, g.N())
-	queue := make([]NodeID, 0, len(targets))
+	n := g.N()
+	if cap(s.seen) < n {
+		s.seen = make([]bool, n)
+		s.queue = make([]NodeID, 0, n)
+	}
+	s.seen = s.seen[:n]
+	for i := range s.seen {
+		s.seen[i] = false
+	}
+	queue := s.queue[:0]
 	for _, t := range targets {
-		if !seen[t] {
-			seen[t] = true
+		if !s.seen[t] {
+			s.seen[t] = true
 			queue = append(queue, t)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, u := range g.in[v] {
-			if !seen[u] {
-				seen[u] = true
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.inEdges[g.inOff[v]:g.inOff[v+1]] {
+			if !s.seen[u] {
+				s.seen[u] = true
 				queue = append(queue, u)
 			}
 		}
 	}
-	return seen
+	s.queue = queue
+	return s.seen
 }
 
 // StronglyConnected reports whether the graph is strongly connected

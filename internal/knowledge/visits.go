@@ -1,6 +1,9 @@
 package knowledge
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Visits is an agent's bounded memory of when it last visited each node.
 // It drives the conscientious / super-conscientious / oldest-node policies:
@@ -106,38 +109,80 @@ type visitRec struct {
 // records were added or refreshed. It is much cheaper than pairwise
 // MergeFrom for the clumped groups cooperation produces.
 func MergeAll(ms []*Visits) []int {
-	union := make(map[NodeID]int)
+	var s MergeScratch
+	return s.MergeAll(ms)
+}
+
+// MergeScratch carries the reusable buffers of MergeAll: the union map,
+// the sorted record list, and the per-member change counts. Meetings
+// happen tens of thousands of times per run, so reusing these is a large
+// share of making the simulation loop allocation-free. The zero value is
+// ready; the slice MergeAll returns aliases the scratch and is valid until
+// the next call.
+type MergeScratch struct {
+	union   map[NodeID]int
+	entries []visitRec
+	changed []int
+}
+
+// MergeAll is the scratch-buffered form of the package-level MergeAll:
+// identical results and member states, zero steady-state allocations.
+func (s *MergeScratch) MergeAll(ms []*Visits) []int {
+	if s.union == nil {
+		s.union = make(map[NodeID]int)
+	} else {
+		clear(s.union)
+	}
 	for _, m := range ms {
-		for u, s := range m.last {
-			if p, ok := union[u]; !ok || s > p {
-				union[u] = s
+		for u, st := range m.last {
+			if p, ok := s.union[u]; !ok || st > p {
+				s.union[u] = st
 			}
 		}
 	}
-	entries := make([]visitRec, 0, len(union))
-	for u, s := range union {
-		entries = append(entries, visitRec{node: u, step: s})
+	entries := s.entries[:0]
+	for u, st := range s.union {
+		entries = append(entries, visitRec{node: u, step: st})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].step != entries[j].step {
-			return entries[i].step > entries[j].step
+	slices.SortFunc(entries, func(a, b visitRec) int {
+		if a.step != b.step {
+			if a.step > b.step {
+				return -1
+			}
+			return 1
 		}
-		return entries[i].node < entries[j].node
+		if a.node != b.node {
+			if a.node < b.node {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	changed := make([]int, len(ms))
+	s.entries = entries
+	if cap(s.changed) < len(ms) {
+		s.changed = make([]int, len(ms))
+	}
+	changed := s.changed[:len(ms)]
 	for i, m := range ms {
 		kept := entries
 		if m.capacity > 0 && len(kept) > m.capacity {
 			kept = kept[:m.capacity]
 		}
-		next := make(map[NodeID]int, len(kept))
+		// Count what the union adds or refreshes against the member's
+		// pre-meeting state, then rewrite the member in place — the
+		// entries are unique per node, so counting first and installing
+		// second matches building a fresh map.
+		changed[i] = 0
 		for _, e := range kept {
 			if p, ok := m.last[e.node]; !ok || e.step > p {
 				changed[i]++
 			}
-			next[e.node] = e.step
 		}
-		m.last = next
+		clear(m.last)
+		for _, e := range kept {
+			m.last[e.node] = e.step
+		}
 	}
 	return changed
 }

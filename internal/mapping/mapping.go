@@ -116,6 +116,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 	}
 	engine := sim.NewEngine(sc.Workers)
 	next := make([]NodeID, len(agents))
+	grouper := core.NewGrouper(w.N())
 	res := Result{
 		Curve:    make([]float64, 0, 1024),
 		MinCurve: make([]float64, 0, 1024),
@@ -130,7 +131,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		})
 		// Phase 2: meetings (independent across co-located groups).
 		if sc.Cooperate && len(agents) > 1 {
-			groups := core.GroupByNode(agents)
+			groups := grouper.Meetings(agents)
 			if sc.Tracer != nil {
 				for _, g := range groups {
 					sc.Tracer.Emit(trace.Event{
@@ -171,7 +172,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		// agent's own node), so parallelise across node groups and keep
 		// agent order within a group — bit-identical to sequential.
 		if sc.Stigmergy {
-			groups := groupAll(agents)
+			groups := grouper.All(agents)
 			engine.ForEach(len(groups), func(g int) {
 				for _, a := range groups[g] {
 					next[a.ID] = a.Decide(board, step, w.Neighbors(a.At))
@@ -207,23 +208,6 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		res.Overhead.Add(a.Overhead)
 	}
 	return res, nil
-}
-
-// groupAll partitions agents by node including singleton groups, ordered
-// by node ID (deterministic).
-func groupAll(agents []*core.Agent) [][]*core.Agent {
-	groups := core.GroupByNode(agents)
-	seen := make(map[NodeID]bool, len(groups))
-	for _, g := range groups {
-		seen[g[0].At] = true
-	}
-	for _, a := range agents {
-		if !seen[a.At] {
-			groups = append(groups, []*core.Agent{a})
-			seen[a.At] = true
-		}
-	}
-	return groups
 }
 
 // placeAgents builds and randomly places the team.

@@ -1,0 +1,52 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// TestWorldStepZeroAllocs enforces the hot-loop allocation budget: once
+// the double-buffered topology, the spatial grid, and the connectivity
+// scratch have warmed up, stepping a dynamic world and measuring gateway
+// connectivity must be allocation-free in the steady state.
+func TestWorldStepZeroAllocs(t *testing.T) {
+	s := rng.New(33)
+	n := 40
+	pos := make([]geom.Point, n)
+	radios := make([]radio.Radio, n)
+	movers := make([]mobility.Mover, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: s.Range(0, 50), Y: s.Range(0, 50)}
+		radios[i] = radio.NewBattery(s.Range(5, 15), 0.0001, 0.3)
+		movers[i] = mobility.NewRandomVelocity(geom.Square(50), 0.5, 2, s.Child(uint64(i)))
+	}
+	w, err := NewWorld(Config{
+		Arena:     geom.Square(50),
+		Positions: pos,
+		Radios:    radios,
+		Movers:    movers,
+		Gateways:  []NodeID{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: both topology buffers, every grid cell's historic maximum
+	// occupancy, and the reach scratch all reach steady state.
+	for i := 0; i < 200; i++ {
+		w.Step()
+		w.ConnectivityToGateways()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		w.Step()
+		w.ConnectivityToGateways()
+	})
+	// A node wandering into a cell that is fuller than that cell has ever
+	// been can still grow one bucket; allow that sliver, nothing more.
+	if avg > 0.05 {
+		t.Fatalf("World.Step+ConnectivityToGateways allocates %v per step, want ~0", avg)
+	}
+}

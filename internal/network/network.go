@@ -44,7 +44,14 @@ type World struct {
 	step    int
 	dynamic bool // false ⇒ topology never changes after construction
 
-	nbrBuf []int32 // scratch for grid queries
+	// Per-step rebuilds alternate between two graph buffers so the
+	// previous step's topology stays intact for exactly one step (the
+	// documented lifetime of Topology()) while its storage is recycled
+	// the step after. reach backs ConnectivityToGateways.
+	topoBuf [2]*graph.Directed
+	topoIdx int
+	reach   graph.ReachScratch
+	nbrBuf  []int32 // scratch for grid queries
 }
 
 // NewWorld validates cfg and builds the initial topology.
@@ -145,11 +152,20 @@ func (w *World) Step() {
 	w.rebuildTopology()
 }
 
-// rebuildTopology recomputes the directed link graph from scratch using
-// the spatial grid.
+// rebuildTopology recomputes the directed link graph using the spatial
+// grid, writing into the topology buffer not currently published so the
+// rebuild reuses storage instead of allocating a fresh graph per step.
+// Grid cells visit each node exactly once and exclude the centre node, so
+// the neighbour lists are duplicate- and self-loop-free as SetOut requires.
 func (w *World) rebuildTopology() {
 	n := w.N()
-	g := graph.New(n)
+	w.topoIdx ^= 1
+	g := w.topoBuf[w.topoIdx]
+	if g == nil {
+		g = graph.New(n)
+		w.topoBuf[w.topoIdx] = g
+	}
+	g.Reset(n)
 	w.grid.Rebuild(w.pos)
 	for u := 0; u < n; u++ {
 		r := w.radios[u].Range()
@@ -157,11 +173,8 @@ func (w *World) rebuildTopology() {
 			continue
 		}
 		w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
-		for _, v := range w.nbrBuf {
-			g.AddEdge(NodeID(u), v)
-		}
+		g.SetOut(NodeID(u), w.nbrBuf)
 	}
-	g.SortAdjacency()
 	w.topo = g
 }
 
@@ -174,7 +187,7 @@ func (w *World) ConnectivityToGateways() float64 {
 	if len(w.gateways) == 0 {
 		return 0
 	}
-	reach := w.topo.CanReachSet(w.gateways)
+	reach := w.topo.CanReachSetScratch(w.gateways, &w.reach)
 	nonGateway, connected := 0, 0
 	for u := 0; u < w.N(); u++ {
 		if w.isGateway[u] {

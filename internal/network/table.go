@@ -13,17 +13,19 @@ type Entry struct {
 // Table is a node's routing table. Nodes run no routing protocol of their
 // own — only agents write entries — so the table is a passive, bounded
 // store: at most one entry per gateway and at most capacity entries
-// overall, evicting the stalest when full. The zero value is unusable;
-// construct with NewTable.
+// overall, evicting the stalest when full. Entries live in a small slice
+// (tables hold a handful of routes, one by default), which keeps lookups
+// branch-friendly and lets the per-step metric loops iterate without
+// allocating. The zero value is unusable; construct with NewTable.
 type Table struct {
 	capacity int
-	entries  map[NodeID]Entry
+	entries  []Entry
 }
 
 // NewTable returns a table that holds at most capacity gateway entries.
 // capacity <= 0 means unbounded.
 func NewTable(capacity int) *Table {
-	return &Table{capacity: capacity, entries: make(map[NodeID]Entry)}
+	return &Table{capacity: capacity}
 }
 
 // Len returns the number of stored entries.
@@ -31,54 +33,61 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // Lookup returns the entry for the given gateway, if any.
 func (t *Table) Lookup(gw NodeID) (Entry, bool) {
-	e, ok := t.entries[gw]
-	return e, ok
+	for _, e := range t.entries {
+		if e.Gateway == gw {
+			return e, true
+		}
+	}
+	return Entry{}, false
 }
 
-// Entries returns all entries in unspecified order.
+// Entries returns all entries in unspecified order. The returned slice is
+// owned by the table and valid until the next mutation; callers must not
+// modify it.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
-		out = append(out, e)
-	}
-	return out
+	return t.entries
 }
 
 // Update installs e unless a fresher (or equally fresh but shorter)
 // entry for the same gateway is already present. It reports whether the
 // table changed.
 func (t *Table) Update(e Entry) bool {
-	if old, ok := t.entries[e.Gateway]; ok {
+	for i := range t.entries {
+		if t.entries[i].Gateway != e.Gateway {
+			continue
+		}
+		old := t.entries[i]
 		if old.Updated > e.Updated {
 			return false
 		}
 		if old.Updated == e.Updated && old.Hops <= e.Hops {
 			return false
 		}
-		t.entries[e.Gateway] = e
+		t.entries[i] = e
 		return true
 	}
 	if t.capacity > 0 && len(t.entries) >= t.capacity {
 		t.evictStalest()
 	}
-	t.entries[e.Gateway] = e
+	t.entries = append(t.entries, e)
 	return true
 }
 
 // evictStalest removes the entry with the oldest Updated stamp, breaking
 // ties by larger hop count, then by gateway ID for determinism.
 func (t *Table) evictStalest() {
-	first := true
-	var victim NodeID
-	var worst Entry
-	for gw, e := range t.entries {
-		if first || staler(e, worst) {
-			victim, worst, first = gw, e, false
+	if len(t.entries) == 0 {
+		return
+	}
+	victim := 0
+	for i := 1; i < len(t.entries); i++ {
+		if staler(t.entries[i], t.entries[victim]) {
+			victim = i
 		}
 	}
-	if !first {
-		delete(t.entries, victim)
-	}
+	last := len(t.entries) - 1
+	t.entries[victim] = t.entries[last]
+	t.entries = t.entries[:last]
 }
 
 // staler reports whether a is a worse entry to keep than b.
@@ -94,7 +103,5 @@ func staler(a, b Entry) bool {
 
 // Clear removes all entries.
 func (t *Table) Clear() {
-	for k := range t.entries {
-		delete(t.entries, k)
-	}
+	t.entries = t.entries[:0]
 }

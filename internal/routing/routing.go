@@ -186,33 +186,107 @@ func Reaches(w *network.World, ts *Tables, u NodeID, maxWalk int, visited []bool
 // least one gateway"), which matches nodes retrying their table entries.
 // One reverse BFS from the gateway set makes this O(N + entries).
 func ReachSet(w *network.World, ts *Tables) []bool {
+	var s Scratch
+	return s.ReachSet(w, ts)
+}
+
+// Scratch carries the reusable buffers of the per-step connectivity
+// metrics: the table-induced reverse adjacency in CSR form, the BFS seen
+// set, and the BFS queue (drained by head index, so the backing array is
+// reused instead of re-sliced away). One Scratch serves a whole run; the
+// zero value is ready. Results returned by its methods alias the scratch
+// and are valid until the next call.
+type Scratch struct {
+	revOff []int32  // n+1 CSR offsets into revDst
+	revCur []int32  // per-node fill cursors
+	revDst []NodeID // flat reverse edges
+	seen   []bool
+	queue  []NodeID
+}
+
+// ReachSet is the scratch-buffered form of the package-level ReachSet:
+// identical results, zero steady-state allocations.
+func (s *Scratch) ReachSet(w *network.World, ts *Tables) []bool {
 	n := w.N()
 	topo := w.Topology()
-	rev := make([][]NodeID, n)
+	if cap(s.revOff) < n+1 {
+		s.revOff = make([]int32, n+1)
+		s.revCur = make([]int32, n+1)
+		s.seen = make([]bool, n)
+		s.queue = make([]NodeID, 0, n)
+	}
+	s.revOff = s.revOff[:n+1]
+	s.revCur = s.revCur[:n+1]
+	s.seen = s.seen[:n]
+	for i := range s.revOff {
+		s.revOff[i] = 0
+	}
+	// Reverse adjacency over live table entries: an edge v←u for every
+	// entry at u whose next hop v is currently a real link. Built in CSR
+	// form with a counting pass so the flat buffer is reused across steps.
 	for u := 0; u < n; u++ {
 		for _, e := range ts.tables[u].Entries() {
 			if topo.HasEdge(NodeID(u), e.NextHop) {
-				rev[e.NextHop] = append(rev[e.NextHop], NodeID(u))
+				s.revOff[e.NextHop+1]++
 			}
 		}
 	}
-	seen := make([]bool, n)
-	queue := make([]NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		s.revOff[v+1] += s.revOff[v]
+	}
+	total := int(s.revOff[n])
+	if cap(s.revDst) < total {
+		s.revDst = make([]NodeID, total)
+	}
+	s.revDst = s.revDst[:total]
+	copy(s.revCur, s.revOff)
+	for u := 0; u < n; u++ {
+		for _, e := range ts.tables[u].Entries() {
+			if topo.HasEdge(NodeID(u), e.NextHop) {
+				s.revDst[s.revCur[e.NextHop]] = NodeID(u)
+				s.revCur[e.NextHop]++
+			}
+		}
+	}
+	for i := range s.seen {
+		s.seen[i] = false
+	}
+	queue := s.queue[:0]
 	for _, g := range w.Gateways() {
-		seen[g] = true
+		s.seen[g] = true
 		queue = append(queue, g)
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, u := range rev[v] {
-			if !seen[u] {
-				seen[u] = true
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range s.revDst[s.revOff[v]:s.revOff[v+1]] {
+			if !s.seen[u] {
+				s.seen[u] = true
 				queue = append(queue, u)
 			}
 		}
 	}
-	return seen
+	s.queue = queue
+	return s.seen
+}
+
+// Connectivity is the scratch-buffered form of the package-level
+// Connectivity.
+func (s *Scratch) Connectivity(w *network.World, ts *Tables) float64 {
+	reach := s.ReachSet(w, ts)
+	reached, total := 0, 0
+	for u := 0; u < w.N(); u++ {
+		if w.IsGateway(NodeID(u)) {
+			continue
+		}
+		total++
+		if reach[u] {
+			reached++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(reached) / float64(total)
 }
 
 // LocalConnectivity returns the fraction of non-gateway nodes holding at
@@ -245,21 +319,8 @@ func LocalConnectivity(w *network.World, ts *Tables) float64 {
 // Connectivity returns the fraction of non-gateway nodes that currently
 // reach a gateway through the tables (see ReachSet).
 func Connectivity(w *network.World, ts *Tables) float64 {
-	reach := ReachSet(w, ts)
-	reached, total := 0, 0
-	for u := 0; u < w.N(); u++ {
-		if w.IsGateway(NodeID(u)) {
-			continue
-		}
-		total++
-		if reach[u] {
-			reached++
-		}
-	}
-	if total == 0 {
-		return 1
-	}
-	return float64(reached) / float64(total)
+	var s Scratch
+	return s.Connectivity(w, ts)
 }
 
 // Run executes one routing run on w. The world is consumed (stepped); use
@@ -290,6 +351,8 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 	}
 	engine := sim.NewEngine(sc.Workers)
 	next := make([]NodeID, len(agents))
+	grouper := core.NewGrouper(w.N())
+	var scratch Scratch
 	res := Result{
 		Connectivity: make([]float64, 0, sc.Steps),
 		EndToEnd:     make([]float64, 0, sc.Steps),
@@ -300,7 +363,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		// Phase 1: decide (+ mark). Per-node groups keep stigmergic
 		// board access race-free and deterministic.
 		if sc.Stigmergy {
-			groups := groupAll(agents)
+			groups := grouper.All(agents)
 			engine.ForEach(len(groups), func(g int) {
 				for _, a := range groups[g] {
 					next[a.ID] = a.Decide(board, step, w.Neighbors(a.At))
@@ -314,7 +377,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		}
 		// Phase 2: meetings at the pre-move node.
 		if sc.Communicate && len(agents) > 1 {
-			groups := core.GroupByNode(agents)
+			groups := grouper.Meetings(agents)
 			if sc.Tracer != nil {
 				for _, g := range groups {
 					sc.Tracer.Emit(trace.Event{
@@ -365,7 +428,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		}
 		// Measure, then let the world move.
 		res.Connectivity = append(res.Connectivity, LocalConnectivity(w, tables))
-		res.EndToEnd = append(res.EndToEnd, Connectivity(w, tables))
+		res.EndToEnd = append(res.EndToEnd, scratch.Connectivity(w, tables))
 		res.Ideal = append(res.Ideal, w.ConnectivityToGateways())
 		if sc.Tracer != nil {
 			sc.Tracer.Emit(trace.Event{
@@ -387,23 +450,6 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		res.Overhead.Add(a.Overhead)
 	}
 	return res, nil
-}
-
-// groupAll partitions agents by node including singletons (deterministic
-// order).
-func groupAll(agents []*core.Agent) [][]*core.Agent {
-	groups := core.GroupByNode(agents)
-	seen := make(map[NodeID]bool, len(groups))
-	for _, g := range groups {
-		seen[g[0].At] = true
-	}
-	for _, a := range agents {
-		if !seen[a.At] {
-			groups = append(groups, []*core.Agent{a})
-			seen[a.At] = true
-		}
-	}
-	return groups
 }
 
 func placeAgents(w *network.World, sc Scenario, root *rng.Stream) ([]*core.Agent, error) {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, full test suite under the race detector, and a
+# one-iteration benchmark smoke so the per-figure benchmarks stay runnable.
+# Usage: scripts/ci.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchmark smoke (1 iteration each)"
+go test -run '^$' -bench . -benchtime=1x -benchmem .
+
+echo "CI OK"
