@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
 	"repro/internal/rng"
@@ -136,6 +137,33 @@ func RunRouting(w *World, sc RoutingScenario, seed uint64) (RoutingResult, error
 // paper's fixed node placement and movement trace.
 func RunRoutingBatch(worldFor func(run int) (*World, error), sc RoutingScenario, runs int, seed uint64) (RoutingBatch, error) {
 	return routing.RunMany(worldFor, sc, runs, seed)
+}
+
+// MetricsRegistry collects counters, gauges, histograms and phase timers
+// from instrumented runs. Attach one via MappingScenario.Metrics or
+// RoutingScenario.Metrics; a nil registry disables instrumentation at
+// near-zero cost, and instrumentation never perturbs seeded determinism.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments,
+// reusable across scrapes to avoid steady-state allocation.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeMetrics starts an HTTP server on addr exposing the registry at
+// /metrics (Prometheus text; ?format=json for JSON), expvar at
+// /debug/vars, and net/http/pprof at /debug/pprof/. It returns the bound
+// address (useful with ":0") once the listener is up.
+func ServeMetrics(addr string, r *MetricsRegistry) (string, error) {
+	return metrics.StartServer(addr, r)
+}
+
+// WriteMetrics dumps a snapshot of r to path — Prometheus text format, or
+// JSON when path ends in ".json".
+func WriteMetrics(r *MetricsRegistry, path string) error {
+	return metrics.WriteFile(r, path)
 }
 
 // ExperimentConfig tunes a figure reproduction (runs per setting, root

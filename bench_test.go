@@ -111,6 +111,24 @@ func BenchmarkFig11OldestComm(b *testing.B) {
 	})
 }
 
+// Instrumented twins of the heaviest figure benchmarks: same workloads
+// with a live metrics registry attached, pinning the cost of the
+// instrumentation layer (budget: <5% over the uninstrumented runs).
+
+func BenchmarkFig8PopulationSweepInstrumented(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{
+		Agents: 200, Kind: agentmesh.PolicyOldestNode,
+		Metrics: agentmesh.NewMetricsRegistry(),
+	})
+}
+
+func BenchmarkFig11OldestCommInstrumented(b *testing.B) {
+	benchRouting(b, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+		Metrics: agentmesh.NewMetricsRegistry(),
+	})
+}
+
 func BenchmarkExtStigmergicRouting(b *testing.B) {
 	benchRouting(b, agentmesh.RoutingScenario{
 		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true, Stigmergy: true,

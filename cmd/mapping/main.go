@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
 	"repro/internal/stats"
@@ -25,22 +26,24 @@ import (
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 300, "network size")
-		edges     = flag.Int("edges", 2164, "target directed edge count")
-		arena     = flag.Float64("arena", 100, "arena side length")
-		spread    = flag.Float64("spread", 0.25, "radio range spread (0 = homogeneous)")
-		agents    = flag.Int("agents", 15, "agent population")
-		policy    = flag.String("policy", "conscientious", "random | conscientious | super")
-		cooperate = flag.Bool("cooperate", true, "exchange topology knowledge when agents meet")
-		stigmergy = flag.Bool("stigmergy", false, "leave and respect footprints")
-		epsilon   = flag.Float64("epsilon", 0, "probability of a random move (Minar's fix)")
-		memory    = flag.Int("memory", 0, "visit-memory bound (0 = unbounded)")
-		runs      = flag.Int("runs", 40, "independent runs")
-		seed      = flag.Uint64("seed", 1, "root seed (network and placements)")
-		maxSteps  = flag.Int("maxsteps", 200000, "per-run step budget")
-		workers   = flag.Int("workers", runtime.NumCPU(), "simulation workers")
-		curve     = flag.Bool("curve", false, "print the averaged knowledge curve as TSV")
-		traceFile = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+		nodes       = flag.Int("nodes", 300, "network size")
+		edges       = flag.Int("edges", 2164, "target directed edge count")
+		arena       = flag.Float64("arena", 100, "arena side length")
+		spread      = flag.Float64("spread", 0.25, "radio range spread (0 = homogeneous)")
+		agents      = flag.Int("agents", 15, "agent population")
+		policy      = flag.String("policy", "conscientious", "random | conscientious | super")
+		cooperate   = flag.Bool("cooperate", true, "exchange topology knowledge when agents meet")
+		stigmergy   = flag.Bool("stigmergy", false, "leave and respect footprints")
+		epsilon     = flag.Float64("epsilon", 0, "probability of a random move (Minar's fix)")
+		memory      = flag.Int("memory", 0, "visit-memory bound (0 = unbounded)")
+		runs        = flag.Int("runs", 40, "independent runs")
+		seed        = flag.Uint64("seed", 1, "root seed (network and placements)")
+		maxSteps    = flag.Int("maxsteps", 200000, "per-run step budget")
+		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		curve       = flag.Bool("curve", false, "print the averaged knowledge curve as TSV")
+		traceFile   = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+		metricsFile = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
+		httpAddr    = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 
@@ -69,6 +72,19 @@ func main() {
 		MaxSteps:      *maxSteps,
 		Workers:       *workers,
 	}
+	var reg *metrics.Registry
+	if *metricsFile != "" || *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		sc.Metrics = reg
+	}
+	if *httpAddr != "" {
+		addr, err := metrics.StartServer(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapping:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving metrics/expvar/pprof on http://%s\n", addr)
+	}
 	if *traceFile != "" {
 		if err := traceOneRun(*traceFile, w, sc, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "mapping:", err)
@@ -89,6 +105,13 @@ func main() {
 	fmt.Printf("overhead: moves=%d meetings=%d topo-records=%d marks=%d\n",
 		agg.Overhead.Moves, agg.Overhead.Meetings,
 		agg.Overhead.TopoRecordsReceived, agg.Overhead.MarksLeft)
+	if *metricsFile != "" {
+		if err := metrics.WriteFile(reg, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "mapping:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsFile)
+	}
 
 	if *curve {
 		fmt.Println("\nstep\tavg-knowledge\tslowest-agent")
@@ -127,7 +150,8 @@ func traceOneRun(path string, w *network.World, sc mapping.Scenario, seed uint64
 	if _, err := mapping.Run(w, sc, seed); err != nil {
 		return err
 	}
-	return tw.Flush()
+	// Close surfaces any encode error Emit swallowed during the run.
+	return tw.Close()
 }
 
 func parsePolicy(s string) (core.PolicyKind, error) {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
 	"repro/internal/routing"
@@ -42,6 +43,8 @@ func main() {
 		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
 		curve       = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
 		traceFile   = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+		metricsFile = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
+		httpAddr    = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 
@@ -75,6 +78,19 @@ func main() {
 		Steps:       *steps,
 		Workers:     *workers,
 	}
+	var reg *metrics.Registry
+	if *metricsFile != "" || *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		sc.Metrics = reg
+	}
+	if *httpAddr != "" {
+		addr, err := metrics.StartServer(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routing:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving metrics/expvar/pprof on http://%s\n", addr)
+	}
 	if *traceFile != "" {
 		if err := traceOneRun(*traceFile, worldFor, sc, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "routing:", err)
@@ -96,6 +112,13 @@ func main() {
 	fmt.Printf("overhead: moves=%d meetings=%d deposits=%d adoptions=%d marks=%d\n",
 		agg.Overhead.Moves, agg.Overhead.Meetings, agg.Overhead.RouteDeposits,
 		agg.Overhead.TrailAdoptions, agg.Overhead.MarksLeft)
+	if *metricsFile != "" {
+		if err := metrics.WriteFile(reg, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "routing:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsFile)
+	}
 
 	if *curve {
 		fmt.Println("\nstep\tconnectivity\tphysical-upper-bound")
@@ -132,7 +155,8 @@ func traceOneRun(path string, worldFor func(int) (*network.World, error), sc rou
 	if _, err := routing.Run(w, sc, seed); err != nil {
 		return err
 	}
-	return tw.Flush()
+	// Close surfaces any encode error Emit swallowed during the run.
+	return tw.Close()
 }
 
 func parsePolicy(s string) (core.PolicyKind, error) {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
 	"repro/internal/routing"
@@ -36,6 +37,7 @@ func main() {
 		runs        = flag.Int("runs", 10, "independent runs per value")
 		seed        = flag.Uint64("seed", 1, "root seed")
 		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		metricsFile = flag.String("metrics", "", "dump the whole-sweep metrics snapshot to this file (Prometheus text; .json for JSON)")
 	)
 	flag.Parse()
 	if *values == "" {
@@ -48,11 +50,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One registry accumulates across the whole sweep; per-point columns
+	// come from counter deltas between snapshots taken around each point.
+	reg := metrics.NewRegistry()
 	switch *scenario {
 	case "mapping":
-		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, *runs, *seed, *workers)
+		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, *runs, *seed, *workers, reg)
 	case "routing":
-		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, *runs, *seed, *workers)
+		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, *runs, *seed, *workers, reg)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -60,6 +65,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+	if *metricsFile != "" {
+		if err := metrics.WriteFile(reg, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// counterDeltas returns per-point growth of the named counters between two
+// snapshots of the sweep-wide registry.
+func counterDeltas(before, after *metrics.Snapshot, names ...string) []uint64 {
+	out := make([]uint64, len(names))
+	for i, name := range names {
+		out[i] = after.Counter(name) - before.Counter(name)
+	}
+	return out
 }
 
 func parseValues(s string) ([]float64, error) {
@@ -75,7 +96,7 @@ func parseValues(s string) ([]float64, error) {
 	return out, nil
 }
 
-func sweepMapping(param string, vals []float64, policy string, cooperate, stigmergy bool, runs int, seed uint64, workers int) error {
+func sweepMapping(param string, vals []float64, policy string, cooperate, stigmergy bool, runs int, seed uint64, workers int, reg *metrics.Registry) error {
 	kind := core.PolicyConscientious
 	switch policy {
 	case "", "conscientious":
@@ -91,11 +112,12 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 		return err
 	}
 	static := func(int) (*network.World, error) { return w, nil }
-	fmt.Printf("%s,finish_mean,finish_ci95,finish_min,finish_max,completed,runs\n", param)
+	fmt.Printf("%s,finish_mean,finish_ci95,finish_min,finish_max,completed,runs,moves,meetings,topo_records\n", param)
+	var before, after metrics.Snapshot
 	for _, v := range vals {
 		sc := mapping.Scenario{
 			Agents: 15, Kind: kind, Cooperate: cooperate, Stigmergy: stigmergy,
-			MaxSteps: 200000, Workers: workers,
+			MaxSteps: 200000, Workers: workers, Metrics: reg,
 		}
 		switch param {
 		case "agents":
@@ -107,18 +129,22 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 		default:
 			return fmt.Errorf("unknown mapping param %q", param)
 		}
+		reg.Snapshot(&before)
 		agg, err := mapping.RunMany(static, sc, runs, seed+uint64(v*1000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d\n",
+		reg.Snapshot(&after)
+		d := counterDeltas(&before, &after,
+			"mapping_moves_total", "mapping_meetings_total", "mapping_topo_records_merged_total")
+		fmt.Printf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d,%d,%d,%d\n",
 			v, agg.Finish.Mean, agg.Finish.CI, agg.Finish.Min, agg.Finish.Max,
-			agg.Completed, agg.Runs)
+			agg.Completed, agg.Runs, d[0], d[1], d[2])
 	}
 	return nil
 }
 
-func sweepRouting(param string, vals []float64, policy string, communicate, stigmergy bool, runs int, seed uint64, workers int) error {
+func sweepRouting(param string, vals []float64, policy string, communicate, stigmergy bool, runs int, seed uint64, workers int, reg *metrics.Registry) error {
 	kind := core.PolicyOldestNode
 	switch policy {
 	case "", "oldest", "oldest-node":
@@ -130,11 +156,12 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 	worldFor := func(int) (*network.World, error) {
 		return netgen.Generate(netgen.Routing250(), seed)
 	}
-	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,runs\n", param)
+	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,runs,moves,meetings,deposits,adoptions\n", param)
+	var before, after metrics.Snapshot
 	for _, v := range vals {
 		sc := routing.Scenario{
 			Agents: 100, Kind: kind, Communicate: communicate, Stigmergy: stigmergy,
-			Workers: workers,
+			Workers: workers, Metrics: reg,
 		}
 		switch param {
 		case "agents":
@@ -144,12 +171,18 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		default:
 			return fmt.Errorf("unknown routing param %q", param)
 		}
+		reg.Snapshot(&before)
 		agg, err := routing.RunMany(worldFor, sc, runs, seed+uint64(v*1000))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%g,%.4f,%.4f,%.4f,%.4f,%d\n",
-			v, agg.Mean.Mean, agg.Mean.CI, agg.EndToEnd.Mean, agg.Stability, agg.Runs)
+		reg.Snapshot(&after)
+		d := counterDeltas(&before, &after,
+			"routing_moves_total", "routing_meetings_total",
+			"routing_deposits_total", "routing_route_adoptions_total")
+		fmt.Printf("%g,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
+			v, agg.Mean.Mean, agg.Mean.CI, agg.EndToEnd.Mean, agg.Stability, agg.Runs,
+			d[0], d[1], d[2], d[3])
 	}
 	return nil
 }

@@ -30,7 +30,12 @@ func main() {
 	defer f.Close()
 	events, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		// A decode error means a truncated or corrupt JSONL line; a partial
+		// summary would silently misrepresent the run, so refuse loudly.
+		fmt.Fprintf(os.Stderr,
+			"tracestat: trace %s is truncated or corrupt: %v\n"+
+				"tracestat: read %d valid events before the bad line; refusing to summarise a partial trace\n",
+			os.Args[1], err, len(events))
 		os.Exit(1)
 	}
 	if len(events) == 0 {
@@ -83,14 +88,18 @@ func main() {
 		fmt.Printf("\ndeposits per step (peak %d):\n%s\n", int(peak), viz.Sparkline(series, 75))
 	}
 
-	if len(s.Measures) > 0 {
-		name := s.MeasureName
-		if name == "" {
-			name = "measurement"
+	for _, name := range s.MeasureNames {
+		curve := s.MeasuresByName[name]
+		if len(curve) == 0 {
+			continue
+		}
+		label := name
+		if label == "" {
+			label = "measurement"
 		}
 		fmt.Printf("\n%s curve (%d points):\n%s\n",
-			name, len(s.Measures), viz.Sparkline(s.Measures, 75))
-		fmt.Printf("final value: %.3f\n", s.Measures[len(s.Measures)-1])
+			label, len(curve), viz.Sparkline(curve, 75))
+		fmt.Printf("final value: %.3f\n", curve[len(curve)-1])
 	}
 	if s.FinishStep >= 0 {
 		fmt.Printf("\nrun finished at step %d\n", s.FinishStep)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
 	"repro/internal/routing"
@@ -34,6 +35,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "world + placement seed")
 		cols        = flag.Int("cols", 72, "heat map columns")
 		rows        = flag.Int("rows", 24, "heat map rows")
+		httpAddr    = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 
@@ -47,13 +49,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	reg := metrics.NewRegistry()
+	if *httpAddr != "" {
+		addr, err := metrics.StartServer(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "watch:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving metrics/expvar/pprof on http://%s\n", addr)
+	}
+
 	var series []float64
+	var snap metrics.Snapshot
 	sc := routing.Scenario{
 		Agents:      *agents,
 		Kind:        kind,
 		Communicate: *communicate,
 		Stigmergy:   *stigmergy,
 		Steps:       *steps,
+		Metrics:     reg,
 		Observer: func(step int, w *network.World, tables *routing.Tables) {
 			series = append(series, routing.LocalConnectivity(w, tables))
 			if step%*every != 0 {
@@ -73,6 +87,12 @@ func main() {
 				step, *agents, kind, *communicate, *stigmergy)
 			fmt.Print(viz.Heatmap(w, values, *cols, *rows))
 			fmt.Printf("connectivity %.3f\n%s\n", series[len(series)-1], viz.Sparkline(series, *cols))
+			reg.Snapshot(&snap)
+			fmt.Printf("metrics: moves=%d meetings=%d deposits=%d adoptions=%d evictions=%d links+%d/-%d\n",
+				snap.Counter("routing_moves_total"), snap.Counter("routing_meetings_total"),
+				snap.Counter("routing_deposits_total"), snap.Counter("routing_route_adoptions_total"),
+				snap.Counter("routing_route_evictions_total"),
+				snap.Counter("world_links_added_total"), snap.Counter("world_links_removed_total"))
 			time.Sleep(*delay)
 		},
 	}

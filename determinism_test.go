@@ -9,6 +9,7 @@ package agentmesh_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	agentmesh "repro"
@@ -98,4 +99,70 @@ func TestRoutingResultPinned(t *testing.T) {
 	if res.Overhead.VisitRecordsReceived != 17966 {
 		t.Errorf("Overhead.VisitRecordsReceived = %d, pinned 17966", res.Overhead.VisitRecordsReceived)
 	}
+}
+
+// TestMetricsPreserveDeterminism runs both scenarios with and without a
+// metrics registry attached and requires bit-identical Results: the
+// instrumentation layer must sit entirely outside the RNG and
+// simulation-state paths.
+func TestMetricsPreserveDeterminism(t *testing.T) {
+	t.Run("mapping", func(t *testing.T) {
+		sc := agentmesh.MappingScenario{
+			Agents: 15, Kind: agentmesh.PolicyConscientious, Cooperate: true, Stigmergy: true,
+		}
+		run := func(reg *agentmesh.MetricsRegistry) agentmesh.MappingResult {
+			w, err := agentmesh.MappingNetwork(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sc
+			s.Metrics = reg
+			res, err := agentmesh.RunMapping(w, s, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		plain := run(nil)
+		reg := agentmesh.NewMetricsRegistry()
+		instrumented := run(reg)
+		if !reflect.DeepEqual(plain, instrumented) {
+			t.Error("mapping Result differs with metrics attached")
+		}
+		if snap := reg.Snapshot(nil); snap.Counter("mapping_moves_total") == 0 {
+			t.Error("registry recorded nothing — instrumentation not wired")
+		}
+	})
+	t.Run("routing", func(t *testing.T) {
+		sc := agentmesh.RoutingScenario{
+			Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true, Stigmergy: true,
+			Steps: 120,
+		}
+		run := func(reg *agentmesh.MetricsRegistry) agentmesh.RoutingResult {
+			w, err := agentmesh.RoutingNetwork(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sc
+			s.Metrics = reg
+			res, err := agentmesh.RunRouting(w, s, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		plain := run(nil)
+		reg := agentmesh.NewMetricsRegistry()
+		instrumented := run(reg)
+		if !reflect.DeepEqual(plain, instrumented) {
+			t.Error("routing Result differs with metrics attached")
+		}
+		snap := reg.Snapshot(nil)
+		if snap.Counter("routing_moves_total") == 0 {
+			t.Error("registry recorded nothing — instrumentation not wired")
+		}
+		if snap.Counter("world_steps_total") == 0 {
+			t.Error("world phase instrumentation not wired")
+		}
+	})
 }

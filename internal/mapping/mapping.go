@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -61,6 +62,12 @@ type Scenario struct {
 	// per-step knowledge). Events are emitted from sequential sections,
 	// so traces are reproducible with Workers <= 1.
 	Tracer trace.Tracer
+	// Metrics, if set, receives live instrumentation: per-step phase
+	// timers, domain counters (moves, meetings by size, knowledge-record
+	// merges, marks), and knowledge gauges. Instruments sit outside every
+	// RNG consumption path, so attaching a registry cannot change seeded
+	// results. nil disables with near-zero overhead.
+	Metrics *metrics.Registry
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -100,6 +107,77 @@ type Result struct {
 	Overhead core.Overhead
 }
 
+// runMetrics bundles the mapping harness's instrument handles. The zero
+// value (no registry) makes every operation a no-op; enabled additionally
+// gates the per-step O(agents) overhead-delta sweep.
+type runMetrics struct {
+	enabled bool
+
+	runs      metrics.Counter
+	completed metrics.Counter
+	steps     metrics.Counter
+
+	learn  metrics.Timer
+	meet   metrics.Timer
+	decide metrics.Timer
+	move   metrics.Timer
+
+	moves    metrics.Counter
+	meetings metrics.Counter
+	meetSize metrics.Histogram
+	merges   metrics.Counter
+	marks    metrics.Counter
+
+	knowAvg     metrics.Gauge
+	knowMin     metrics.Gauge
+	finishSteps metrics.Histogram
+
+	prevOverhead core.Overhead
+}
+
+func newRunMetrics(r *metrics.Registry) runMetrics {
+	if r == nil {
+		return runMetrics{}
+	}
+	// Finishing times span single-agent runs (thousands of steps) down to
+	// large stigmergic teams (~100): bucket by powers of two.
+	finishBounds := []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	return runMetrics{
+		enabled:     true,
+		runs:        r.Counter("mapping_runs_total"),
+		completed:   r.Counter("mapping_runs_completed_total"),
+		steps:       r.Counter("mapping_steps_total"),
+		learn:       r.Timer("mapping_phase_learn_seconds"),
+		meet:        r.Timer("mapping_phase_meet_seconds"),
+		decide:      r.Timer("mapping_phase_decide_seconds"),
+		move:        r.Timer("mapping_phase_move_seconds"),
+		moves:       r.Counter("mapping_moves_total"),
+		meetings:    r.Counter("mapping_meetings_total"),
+		meetSize:    r.Histogram("mapping_meeting_size", nil),
+		merges:      r.Counter("mapping_topo_records_merged_total"),
+		marks:       r.Counter("mapping_marks_total"),
+		knowAvg:     r.Gauge("mapping_knowledge_avg"),
+		knowMin:     r.Gauge("mapping_knowledge_min"),
+		finishSteps: r.Histogram("mapping_finish_steps", finishBounds),
+	}
+}
+
+// syncCounts publishes the per-step growth of the agents' overhead
+// counters. Runs in a sequential section so it observes a settled step.
+func (m *runMetrics) syncCounts(agents []*core.Agent) {
+	if !m.enabled {
+		return
+	}
+	var cur core.Overhead
+	for _, a := range agents {
+		cur.Add(a.Overhead)
+	}
+	m.moves.Add(uint64(cur.Moves - m.prevOverhead.Moves))
+	m.merges.Add(uint64(cur.TopoRecordsReceived - m.prevOverhead.TopoRecordsReceived))
+	m.marks.Add(uint64(cur.MarksLeft - m.prevOverhead.MarksLeft))
+	m.prevOverhead = cur
+}
+
 // Run executes one mapping run on w with random agent placement drawn from
 // seed. Static worlds can be shared across runs; dynamic worlds are
 // stepped and should be freshly generated per run.
@@ -121,29 +199,41 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		Curve:    make([]float64, 0, 1024),
 		MinCurve: make([]float64, 0, 1024),
 	}
+	m := newRunMetrics(sc.Metrics)
+	w.Instrument(sc.Metrics)
+	m.runs.Inc()
 
 	steps, completed := sim.Run(sc.MaxSteps, func(step int) bool {
+		m.steps.Inc()
 		// Phase 1: first-hand learning + visit recording (independent).
+		sp := m.learn.Start()
 		engine.ForEach(len(agents), func(i int) {
 			a := agents[i]
 			a.RecordHere(step)
 			a.LearnNeighbors(w.Neighbors(a.At))
 		})
+		sp.Stop()
 		// Phase 2: meetings (independent across co-located groups).
+		sp = m.meet.Start()
 		if sc.Cooperate && len(agents) > 1 {
 			groups := grouper.Meetings(agents)
-			if sc.Tracer != nil {
+			if sc.Tracer != nil || m.enabled {
 				for _, g := range groups {
-					sc.Tracer.Emit(trace.Event{
-						Step: step, Kind: trace.KindMeet,
-						Node: int32(g[0].At), Value: float64(len(g)),
-					})
+					m.meetings.Inc()
+					m.meetSize.Observe(float64(len(g)))
+					if sc.Tracer != nil {
+						sc.Tracer.Emit(trace.Event{
+							Step: step, Kind: trace.KindMeet,
+							Node: int32(g[0].At), Value: float64(len(g)),
+						})
+					}
 				}
 			}
 			engine.ForEach(len(groups), func(g int) {
 				core.ExchangeTopology(groups[g])
 			})
 		}
+		sp.Stop()
 		// Metrics + completion check.
 		sum, min := 0.0, 1.0
 		for _, a := range agents {
@@ -155,13 +245,20 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		}
 		res.Curve = append(res.Curve, sum/float64(len(agents)))
 		res.MinCurve = append(res.MinCurve, min)
+		m.knowAvg.Set(sum / float64(len(agents)))
+		m.knowMin.Set(min)
 		if sc.Tracer != nil {
 			sc.Tracer.Emit(trace.Event{
 				Step: step, Kind: trace.KindMeasure,
 				Value: sum / float64(len(agents)), Extra: "avg-knowledge",
 			})
+			sc.Tracer.Emit(trace.Event{
+				Step: step, Kind: trace.KindMeasure,
+				Value: min, Extra: "min-knowledge",
+			})
 		}
 		if min >= 1 {
+			m.syncCounts(agents)
 			if sc.Tracer != nil {
 				sc.Tracer.Emit(trace.Event{Step: step, Kind: trace.KindFinish})
 			}
@@ -171,6 +268,7 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		// independent (footprints are only read and written at the
 		// agent's own node), so parallelise across node groups and keep
 		// agent order within a group — bit-identical to sequential.
+		sp = m.decide.Start()
 		if sc.Stigmergy {
 			groups := grouper.All(agents)
 			engine.ForEach(len(groups), func(g int) {
@@ -184,7 +282,9 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 				next[a.ID] = a.Decide(nil, step, w.Neighbors(a.At))
 			})
 		}
+		sp.Stop()
 		// Phase 4: move, then the world itself evolves.
+		sp = m.move.Start()
 		for _, a := range agents {
 			if sc.Tracer != nil && next[a.ID] != a.At {
 				sc.Tracer.Emit(trace.Event{
@@ -194,6 +294,8 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 			}
 			a.MoveTo(next[a.ID], w.IsGateway(next[a.ID]))
 		}
+		sp.Stop()
+		m.syncCounts(agents)
 		w.Step()
 		return false
 	})
@@ -201,6 +303,8 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 	res.Finished = completed
 	if completed {
 		res.FinishStep = steps
+		m.completed.Inc()
+		m.finishSteps.Observe(float64(steps))
 	} else {
 		res.FinishStep = -1
 	}

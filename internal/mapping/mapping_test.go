@@ -458,8 +458,9 @@ func TestTracedRun(t *testing.T) {
 	if counts[trace.KindMove] != res.Overhead.Moves {
 		t.Fatalf("traced moves %d != overhead moves %d", counts[trace.KindMove], res.Overhead.Moves)
 	}
-	if counts[trace.KindMeasure] != len(res.Curve) {
-		t.Fatalf("traced measures %d != curve points %d", counts[trace.KindMeasure], len(res.Curve))
+	// Two measures per step: avg-knowledge and min-knowledge.
+	if counts[trace.KindMeasure] != 2*len(res.Curve) {
+		t.Fatalf("traced measures %d != 2x curve points %d", counts[trace.KindMeasure], len(res.Curve))
 	}
 	if counts[trace.KindFinish] != 1 {
 		t.Fatalf("finish events = %d", counts[trace.KindFinish])

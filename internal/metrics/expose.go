@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WriteProm writes the snapshot in the Prometheus text exposition format:
+// counters as `name value`, gauges likewise, histograms as cumulative
+// `name_bucket{le="..."}` series plus `_sum` and `_count`.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			g.Name, g.Name, formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for i := range s.Hists {
+		h := &s.Hists[i]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for j, b := range h.Bounds {
+			cum += h.Buckets[j]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				h.Name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			h.Name, h.Count, h.Name, formatFloat(h.Sum), h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float compactly ("3" not "3.000000"), with inf
+// spelled the Prometheus way.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile dumps a snapshot of r to path: JSON when the path ends in
+// ".json", Prometheus text format otherwise. This backs the cmds'
+// `-metrics out.txt` flag.
+func WriteFile(r *Registry, path string) error {
+	s := r.Snapshot(nil)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := error(nil)
+	if strings.HasSuffix(path, ".json") {
+		werr = s.WriteJSON(f)
+	} else {
+		werr = s.WriteProm(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Handler returns an http.Handler serving the registry snapshot — the
+// Prometheus text format by default, JSON with `?format=json`.
+func (r *Registry) Handler() http.Handler {
+	var mu sync.Mutex
+	var snap Snapshot
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		r.Snapshot(&snap)
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = snap.WriteProm(w)
+	})
+}
+
+// Expvar returns an expvar.Func that renders the registry snapshot, for
+// publishing under /debug/vars next to the runtime's memstats.
+func (r *Registry) Expvar() expvar.Func {
+	return func() any { return r.Snapshot(nil) }
+}
+
+// publishOnce guards the process-global expvar name against duplicate
+// Publish panics when several registries serve in one process (tests).
+var publishOnce sync.Once
+
+// StartServer binds addr and serves, in a background goroutine:
+//
+//	/metrics          registry snapshot (Prometheus text; ?format=json)
+//	/debug/vars       expvar, including the snapshot under "simulation"
+//	/debug/pprof/...  live CPU/heap/goroutine profiling
+//
+// The bind happens synchronously so flag typos fail fast; the returned
+// address is the concrete listen address (useful with ":0").
+func StartServer(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	publishOnce.Do(func() { expvar.Publish("simulation", r.Expvar()) })
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("edges")
+	g.Set(2164)
+	if got := g.Value(); got != 2164 {
+		t.Errorf("gauge = %g, want 2164", got)
+	}
+	// Re-registering the same name must return the same slot.
+	if c2 := r.Counter("requests_total"); c2.Value() != 5 {
+		t.Errorf("re-registered counter = %d, want 5", c2.Value())
+	}
+	c2 := r.Counter("requests_total")
+	c2.Inc()
+	if got := c.Value(); got != 6 {
+		t.Errorf("original handle sees %d after alias Inc, want 6", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	s := r.Snapshot(nil)
+	if len(s.Hists) != 1 {
+		t.Fatalf("snapshot has %d histograms, want 1", len(s.Hists))
+	}
+	p := s.Hists[0]
+	// le=1 gets 0.5 and 1; le=2 gets 2; le=4 gets 3; +Inf gets 100.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if p.Buckets[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, p.Buckets[i], w)
+		}
+	}
+	if p.Sum != 106.5 {
+		t.Errorf("sum = %g, want 106.5", p.Sum)
+	}
+}
+
+func TestNilRegistryAndZeroHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	tm := r.Timer("x")
+	c.Inc()
+	c.Add(10)
+	g.Set(3)
+	h.Observe(1)
+	sp := tm.Start()
+	sp.Stop()
+	if c.Enabled() || g.Enabled() || h.Enabled() || tm.Enabled() {
+		t.Error("nil-registry handles report Enabled")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("zero handles accumulated state")
+	}
+	if s := r.Snapshot(nil); len(s.Counters)+len(s.Gauges)+len(s.Hists) != 0 {
+		t.Error("nil registry snapshot is not empty")
+	}
+}
+
+func TestTimerRecordsSeconds(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("phase_seconds")
+	sp := tm.Start()
+	sp.Stop()
+	s := r.Snapshot(nil)
+	if s.Hists[0].Count != 1 {
+		t.Errorf("timer count = %d, want 1", s.Hists[0].Count)
+	}
+	if s.Hists[0].Sum < 0 {
+		t.Errorf("timer sum = %g, want >= 0", s.Hists[0].Sum)
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(0.25)
+	s := r.Snapshot(nil)
+	if s.Counter("a") != 7 {
+		t.Errorf("Snapshot.Counter(a) = %d, want 7", s.Counter("a"))
+	}
+	if s.Counter("missing") != 0 {
+		t.Error("missing counter should read 0")
+	}
+	if s.Gauge("b") != 0.25 {
+		t.Errorf("Snapshot.Gauge(b) = %g, want 0.25", s.Gauge("b"))
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("moves_total").Add(3)
+	r.Gauge("edges").Set(10)
+	h := r.Histogram("meeting_size", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := r.Snapshot(nil).WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"moves_total 3",
+		"edges 10",
+		`meeting_size_bucket{le="1"} 1`,
+		`meeting_size_bucket{le="2"} 1`,
+		`meeting_size_bucket{le="+Inf"} 2`,
+		"meeting_size_sum 6",
+		"meeting_size_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterIncZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	if avg := testing.AllocsPerRun(1000, c.Inc); avg != 0 {
+		t.Errorf("Counter.Inc allocates %v per call, want 0", avg)
+	}
+	var zero Counter
+	if avg := testing.AllocsPerRun(1000, zero.Inc); avg != 0 {
+		t.Errorf("zero Counter.Inc allocates %v per call, want 0", avg)
+	}
+}
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hot", nil)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(float64(i % 300))
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Histogram.Observe allocates %v per call, want 0", avg)
+	}
+}
+
+func TestSnapshotReuseZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"a", "b", "c"} {
+		r.Counter(name).Inc()
+		r.Gauge(name).Set(1)
+		r.Histogram(name, nil).Observe(1)
+	}
+	var s Snapshot
+	r.Snapshot(&s) // warm up the reusable storage
+	avg := testing.AllocsPerRun(100, func() {
+		r.Snapshot(&s)
+	})
+	if avg != 0 {
+		t.Errorf("Registry.Snapshot with reused dst allocates %v per call, want 0", avg)
+	}
+}

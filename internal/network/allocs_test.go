@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/rng"
@@ -48,5 +49,43 @@ func TestWorldStepZeroAllocs(t *testing.T) {
 	// been can still grow one bucket; allow that sliver, nothing more.
 	if avg > 0.05 {
 		t.Fatalf("World.Step+ConnectivityToGateways allocates %v per step, want ~0", avg)
+	}
+}
+
+// TestWorldStepZeroAllocsInstrumented repeats the hot-loop budget with a
+// live metrics registry attached: phase timers, the link-churn diff, and
+// the edge gauge must all stay inside the same allocation budget.
+func TestWorldStepZeroAllocsInstrumented(t *testing.T) {
+	s := rng.New(33)
+	n := 40
+	pos := make([]geom.Point, n)
+	radios := make([]radio.Radio, n)
+	movers := make([]mobility.Mover, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: s.Range(0, 50), Y: s.Range(0, 50)}
+		radios[i] = radio.NewBattery(s.Range(5, 15), 0.0001, 0.3)
+		movers[i] = mobility.NewRandomVelocity(geom.Square(50), 0.5, 2, s.Child(uint64(i)))
+	}
+	w, err := NewWorld(Config{
+		Arena:     geom.Square(50),
+		Positions: pos,
+		Radios:    radios,
+		Movers:    movers,
+		Gateways:  []NodeID{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Instrument(metrics.NewRegistry())
+	for i := 0; i < 200; i++ {
+		w.Step()
+		w.ConnectivityToGateways()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		w.Step()
+		w.ConnectivityToGateways()
+	})
+	if avg > 0.05 {
+		t.Fatalf("instrumented World.Step+ConnectivityToGateways allocates %v per step, want ~0", avg)
 	}
 }

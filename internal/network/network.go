@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/radio"
 )
@@ -52,6 +53,42 @@ type World struct {
 	topoIdx int
 	reach   graph.ReachScratch
 	nbrBuf  []int32 // scratch for grid queries
+
+	m        worldMetrics
+	diffMark []int32 // per-node stamp scratch for the instrumented edge diff
+	diffGen  int32
+}
+
+// worldMetrics holds the World's instrument handles. All handles are
+// nil-safe no-ops until Instrument attaches a registry.
+type worldMetrics struct {
+	steps        metrics.Counter
+	mobility     metrics.Timer
+	decay        metrics.Timer
+	rebuild      metrics.Timer
+	linksAdded   metrics.Counter
+	linksRemoved metrics.Counter
+	edges        metrics.Gauge
+}
+
+// Instrument registers the World's per-step phase timers (mobility, radio
+// decay, topology rebuild) and link-churn counters on r. A nil registry
+// detaches nothing and costs nothing; instruments never feed back into the
+// simulation, so seeded results are unchanged.
+func (w *World) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	w.m = worldMetrics{
+		steps:        r.Counter("world_steps_total"),
+		mobility:     r.Timer("world_phase_mobility_seconds"),
+		decay:        r.Timer("world_phase_radio_decay_seconds"),
+		rebuild:      r.Timer("world_phase_topology_rebuild_seconds"),
+		linksAdded:   r.Counter("world_links_added_total"),
+		linksRemoved: r.Counter("world_links_removed_total"),
+		edges:        r.Gauge("world_edges"),
+	}
+	w.m.edges.Set(float64(w.topo.M()))
 }
 
 // NewWorld validates cfg and builds the initial topology.
@@ -142,14 +179,25 @@ func (w *World) Neighbors(u NodeID) []NodeID { return w.topo.Out(u) }
 // the topology is recomputed. Static worlds skip the recompute.
 func (w *World) Step() {
 	w.step++
+	w.m.steps.Inc()
 	if !w.dynamic {
 		return
 	}
+	sp := w.m.mobility.Start()
 	w.fleet.Step(w.pos)
+	sp.Stop()
+	sp = w.m.decay.Start()
 	for i := range w.radios {
 		w.radios[i].Step()
 	}
+	sp.Stop()
+	sp = w.m.rebuild.Start()
+	old := w.topo
 	w.rebuildTopology()
+	sp.Stop()
+	if w.m.linksAdded.Enabled() {
+		w.recordLinkChurn(old, w.topo)
+	}
 }
 
 // rebuildTopology recomputes the directed link graph using the spatial
@@ -176,6 +224,52 @@ func (w *World) rebuildTopology() {
 		g.SetOut(NodeID(u), w.nbrBuf)
 	}
 	w.topo = g
+}
+
+// recordLinkChurn counts the edges that appeared and disappeared between
+// two consecutive topologies using a generation-stamped scratch array —
+// O(E_old + E_new) per step and allocation-free after warm-up. Only runs
+// when a registry is attached.
+func (w *World) recordLinkChurn(old, cur *graph.Directed) {
+	n := w.N()
+	if len(w.diffMark) < n {
+		w.diffMark = make([]int32, n)
+		w.diffGen = 0
+	}
+	if w.diffGen > 1<<30 { // avoid stamp collisions on wraparound
+		for i := range w.diffMark {
+			w.diffMark[i] = 0
+		}
+		w.diffGen = 0
+	}
+	var added, removed uint64
+	for u := 0; u < n; u++ {
+		// Stamp the new out-set, then scan the old one: unstamped ⇒ removed.
+		w.diffGen++
+		gen := w.diffGen
+		for _, v := range cur.Out(NodeID(u)) {
+			w.diffMark[v] = gen
+		}
+		for _, v := range old.Out(NodeID(u)) {
+			if w.diffMark[v] != gen {
+				removed++
+			}
+		}
+		// Stamp the old out-set, then scan the new one: unstamped ⇒ added.
+		w.diffGen++
+		gen = w.diffGen
+		for _, v := range old.Out(NodeID(u)) {
+			w.diffMark[v] = gen
+		}
+		for _, v := range cur.Out(NodeID(u)) {
+			if w.diffMark[v] != gen {
+				added++
+			}
+		}
+	}
+	w.m.linksAdded.Add(added)
+	w.m.linksRemoved.Add(removed)
+	w.m.edges.Set(float64(cur.M()))
 }
 
 // ConnectivityToGateways returns the fraction of non-gateway nodes that

@@ -18,8 +18,9 @@ type Entry struct {
 // branch-friendly and lets the per-step metric loops iterate without
 // allocating. The zero value is unusable; construct with NewTable.
 type Table struct {
-	capacity int
-	entries  []Entry
+	capacity  int
+	entries   []Entry
+	evictions int
 }
 
 // NewTable returns a table that holds at most capacity gateway entries.
@@ -30,6 +31,10 @@ func NewTable(capacity int) *Table {
 
 // Len returns the number of stored entries.
 func (t *Table) Len() int { return len(t.entries) }
+
+// Evictions returns how many entries this table has evicted to stay
+// within capacity over its lifetime.
+func (t *Table) Evictions() int { return t.evictions }
 
 // Lookup returns the entry for the given gateway, if any.
 func (t *Table) Lookup(gw NodeID) (Entry, bool) {
@@ -88,6 +93,7 @@ func (t *Table) evictStalest() {
 	last := len(t.entries) - 1
 	t.entries[victim] = t.entries[last]
 	t.entries = t.entries[:last]
+	t.evictions++
 }
 
 // staler reports whether a is a worse entry to keep than b.

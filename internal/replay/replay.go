@@ -23,11 +23,17 @@ type Summary struct {
 	MeetingSizes map[int]int
 	// AgentMoves maps agent ID to its migration count.
 	AgentMoves map[int32]int
-	// Measures is the per-step measurement curve (KindMeasure values in
-	// order).
+	// Measures is the primary measurement curve: the values of the
+	// first-seen measure name, in recorded order.
 	Measures []float64
-	// MeasureName is the Extra label of the measurements (if any).
+	// MeasureName is the Extra label of the primary measurements (if any).
 	MeasureName string
+	// MeasureNames lists every distinct measure name in first-seen order —
+	// harnesses emit several per step (e.g. "connectivity", "end-to-end",
+	// "ideal").
+	MeasureNames []string
+	// MeasuresByName holds each named measurement curve in recorded order.
+	MeasuresByName map[string][]float64
 	// FinishStep is the step of the finish event, or -1.
 	FinishStep int
 }
@@ -35,10 +41,11 @@ type Summary struct {
 // Summarize scans events (in recorded order) into a Summary.
 func Summarize(events []trace.Event) Summary {
 	s := Summary{
-		ByKind:       make(map[trace.Kind]int),
-		MeetingSizes: make(map[int]int),
-		AgentMoves:   make(map[int32]int),
-		FinishStep:   -1,
+		ByKind:         make(map[trace.Kind]int),
+		MeetingSizes:   make(map[int]int),
+		AgentMoves:     make(map[int32]int),
+		MeasuresByName: make(map[string][]float64),
+		FinishStep:     -1,
 	}
 	for _, e := range events {
 		s.Events++
@@ -52,10 +59,16 @@ func Summarize(events []trace.Event) Summary {
 		case trace.KindMove:
 			s.AgentMoves[e.Agent]++
 		case trace.KindMeasure:
-			s.Measures = append(s.Measures, e.Value)
 			if s.MeasureName == "" {
 				s.MeasureName = e.Extra
 			}
+			if e.Extra == s.MeasureName {
+				s.Measures = append(s.Measures, e.Value)
+			}
+			if _, seen := s.MeasuresByName[e.Extra]; !seen {
+				s.MeasureNames = append(s.MeasureNames, e.Extra)
+			}
+			s.MeasuresByName[e.Extra] = append(s.MeasuresByName[e.Extra], e.Value)
 		case trace.KindFinish:
 			s.FinishStep = e.Step
 		}

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -65,6 +66,12 @@ type Scenario struct {
 	// deposits, per-step connectivity). Events are emitted from
 	// sequential sections, so traces are reproducible with Workers <= 1.
 	Tracer trace.Tracer
+	// Metrics, if set, receives live instrumentation: per-step phase
+	// timers, domain counters (moves, meetings by size, deposits,
+	// adoptions, evictions), and connectivity gauges. Instruments are
+	// updated outside every RNG consumption path, so attaching a registry
+	// cannot change seeded results. nil disables with near-zero overhead.
+	Metrics *metrics.Registry
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -127,6 +134,16 @@ func NewTables(n, capacity int) *Tables {
 
 // At returns node u's table.
 func (ts *Tables) At(u NodeID) *network.Table { return ts.tables[u] }
+
+// Evictions returns the total number of capacity evictions across all
+// node tables.
+func (ts *Tables) Evictions() int {
+	total := 0
+	for _, t := range ts.tables {
+		total += t.Evictions()
+	}
+	return total
+}
 
 // Best returns the preferred forwarding entry at node u: fewest hops,
 // then freshest, then lowest gateway ID. ok is false for an empty table.
@@ -323,6 +340,84 @@ func Connectivity(w *network.World, ts *Tables) float64 {
 	return s.Connectivity(w, ts)
 }
 
+// runMetrics bundles the routing harness's instrument handles. The zero
+// value (no registry) makes every operation a no-op; enabled additionally
+// gates the per-step O(agents) overhead-delta sweep.
+type runMetrics struct {
+	enabled bool
+
+	runs  metrics.Counter
+	steps metrics.Counter
+
+	decide  metrics.Timer
+	meet    metrics.Timer
+	move    metrics.Timer
+	deposit metrics.Timer
+	measure metrics.Timer
+
+	moves     metrics.Counter
+	meetings  metrics.Counter
+	meetSize  metrics.Histogram
+	deposits  metrics.Counter
+	adoptions metrics.Counter
+	evictions metrics.Counter
+	marks     metrics.Counter
+
+	connLocal metrics.Gauge
+	connE2E   metrics.Gauge
+	connIdeal metrics.Gauge
+
+	prevOverhead core.Overhead
+	prevEvict    int
+}
+
+func newRunMetrics(r *metrics.Registry) runMetrics {
+	if r == nil {
+		return runMetrics{}
+	}
+	return runMetrics{
+		enabled:   true,
+		runs:      r.Counter("routing_runs_total"),
+		steps:     r.Counter("routing_steps_total"),
+		decide:    r.Timer("routing_phase_decide_seconds"),
+		meet:      r.Timer("routing_phase_meet_seconds"),
+		move:      r.Timer("routing_phase_move_seconds"),
+		deposit:   r.Timer("routing_phase_deposit_seconds"),
+		measure:   r.Timer("routing_phase_measure_seconds"),
+		moves:     r.Counter("routing_moves_total"),
+		meetings:  r.Counter("routing_meetings_total"),
+		meetSize:  r.Histogram("routing_meeting_size", nil),
+		deposits:  r.Counter("routing_deposits_total"),
+		adoptions: r.Counter("routing_route_adoptions_total"),
+		evictions: r.Counter("routing_route_evictions_total"),
+		marks:     r.Counter("routing_marks_total"),
+		connLocal: r.Gauge("routing_connectivity"),
+		connE2E:   r.Gauge("routing_connectivity_end_to_end"),
+		connIdeal: r.Gauge("routing_connectivity_ideal"),
+	}
+}
+
+// syncCounts publishes the per-step growth of the agents' overhead
+// counters and the tables' eviction count. Runs in the sequential section
+// after deposits, so it observes a settled step.
+func (m *runMetrics) syncCounts(agents []*core.Agent, tables *Tables) {
+	if !m.enabled {
+		return
+	}
+	var cur core.Overhead
+	for _, a := range agents {
+		cur.Add(a.Overhead)
+	}
+	m.moves.Add(uint64(cur.Moves - m.prevOverhead.Moves))
+	m.deposits.Add(uint64(cur.RouteDeposits - m.prevOverhead.RouteDeposits))
+	m.adoptions.Add(uint64(cur.TrailAdoptions - m.prevOverhead.TrailAdoptions))
+	m.marks.Add(uint64(cur.MarksLeft - m.prevOverhead.MarksLeft))
+	m.prevOverhead = cur
+	ev := tables.Evictions()
+	m.evictions.Add(uint64(ev - m.prevEvict))
+	m.prevEvict = ev
+}
+
 // Run executes one routing run on w. The world is consumed (stepped); use
 // a fresh world per run. Agent placement is drawn from seed.
 func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
@@ -358,10 +453,15 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		EndToEnd:     make([]float64, 0, sc.Steps),
 		Ideal:        make([]float64, 0, sc.Steps),
 	}
+	m := newRunMetrics(sc.Metrics)
+	w.Instrument(sc.Metrics)
+	m.runs.Inc()
 
 	sim.Run(sc.Steps, func(step int) bool {
+		m.steps.Inc()
 		// Phase 1: decide (+ mark). Per-node groups keep stigmergic
 		// board access race-free and deterministic.
+		sp := m.decide.Start()
 		if sc.Stigmergy {
 			groups := grouper.All(agents)
 			engine.ForEach(len(groups), func(g int) {
@@ -375,21 +475,28 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 				next[a.ID] = a.Decide(nil, step, w.Neighbors(a.At))
 			})
 		}
+		sp.Stop()
 		// Phase 2: meetings at the pre-move node.
+		sp = m.meet.Start()
 		if sc.Communicate && len(agents) > 1 {
 			groups := grouper.Meetings(agents)
-			if sc.Tracer != nil {
+			if sc.Tracer != nil || m.enabled {
 				for _, g := range groups {
-					sc.Tracer.Emit(trace.Event{
-						Step: step, Kind: trace.KindMeet,
-						Node: int32(g[0].At), Value: float64(len(g)),
-					})
+					m.meetings.Inc()
+					m.meetSize.Observe(float64(len(g)))
+					if sc.Tracer != nil {
+						sc.Tracer.Emit(trace.Event{
+							Step: step, Kind: trace.KindMeet,
+							Node: int32(g[0].At), Value: float64(len(g)),
+						})
+					}
 				}
 			}
 			engine.ForEach(len(groups), func(g int) {
 				core.ExchangeRoutes(groups[g])
 			})
 		}
+		sp.Stop()
 		if sc.Tracer != nil {
 			for _, a := range agents {
 				if next[a.ID] != a.At {
@@ -401,14 +508,17 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 			}
 		}
 		// Phase 3: move and record; Phase 4: deposit at the new node.
+		sp = m.move.Start()
 		engine.ForEach(len(agents), func(i int) {
 			a := agents[i]
 			a.MoveTo(next[a.ID], w.IsGateway(next[a.ID]))
 			a.RecordHere(step)
 		})
+		sp.Stop()
 		// Deposits touch shared tables: keep them sequential in agent
 		// order. Table updates are freshest-wins, so order only breaks
 		// exact ties; fixing the order makes runs reproducible.
+		sp = m.deposit.Start()
 		for _, a := range agents {
 			node := a.At
 			agent := a
@@ -426,14 +536,29 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 				return changed
 			})
 		}
+		sp.Stop()
+		m.syncCounts(agents, tables)
 		// Measure, then let the world move.
+		sp = m.measure.Start()
 		res.Connectivity = append(res.Connectivity, LocalConnectivity(w, tables))
 		res.EndToEnd = append(res.EndToEnd, scratch.Connectivity(w, tables))
 		res.Ideal = append(res.Ideal, w.ConnectivityToGateways())
+		sp.Stop()
+		m.connLocal.Set(res.Connectivity[len(res.Connectivity)-1])
+		m.connE2E.Set(res.EndToEnd[len(res.EndToEnd)-1])
+		m.connIdeal.Set(res.Ideal[len(res.Ideal)-1])
 		if sc.Tracer != nil {
 			sc.Tracer.Emit(trace.Event{
 				Step: step, Kind: trace.KindMeasure,
 				Value: res.Connectivity[len(res.Connectivity)-1], Extra: "connectivity",
+			})
+			sc.Tracer.Emit(trace.Event{
+				Step: step, Kind: trace.KindMeasure,
+				Value: res.EndToEnd[len(res.EndToEnd)-1], Extra: "end-to-end",
+			})
+			sc.Tracer.Emit(trace.Event{
+				Step: step, Kind: trace.KindMeasure,
+				Value: res.Ideal[len(res.Ideal)-1], Extra: "ideal",
 			})
 		}
 		if sc.Observer != nil {

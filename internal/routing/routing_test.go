@@ -353,7 +353,8 @@ func TestTracedRoutingRun(t *testing.T) {
 		t.Fatalf("traced deposits %d != overhead deposits %d",
 			counts[trace.KindDeposit], res.Overhead.RouteDeposits)
 	}
-	if counts[trace.KindMeasure] != 60 {
+	// Three measures per step: connectivity, end-to-end, ideal.
+	if counts[trace.KindMeasure] != 3*60 {
 		t.Fatalf("measures = %d", counts[trace.KindMeasure])
 	}
 }

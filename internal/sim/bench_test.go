@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mutexForEach is the pre-optimisation dispatch loop (mutex-guarded shared
+// counter), kept here as the benchmark baseline for the atomic version now
+// in Engine.ForEach.
+func mutexForEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkForEachDispatch isolates the per-item dispatch overhead of the
+// parallel executor on a near-empty work body — the regime of the
+// simulation's many-small-agents phases, where dispatch cost dominates.
+func BenchmarkForEachDispatch(b *testing.B) {
+	const n = 4096
+	sink := make([]int64, n)
+	work := func(i int) { sink[i]++ }
+	for _, workers := range []int{4, 8} {
+		e := NewEngine(workers)
+		b.Run(fmt.Sprintf("atomic-%dw", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.ForEach(n, work)
+			}
+		})
+		b.Run(fmt.Sprintf("mutex-%dw", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mutexForEach(workers, n, work)
+			}
+		})
+	}
+}

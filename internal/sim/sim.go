@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Engine executes batches of independent work items, sequentially or on a
@@ -60,18 +61,17 @@ func (e *Engine) ForEach(n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	var next int
-	var mu sync.Mutex
+	// Lock-free work stealing: each worker claims the next index with one
+	// atomic add, so dispatch costs a single contended RMW instead of a
+	// mutex round trip (see BenchmarkForEachDispatch for the difference).
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}

@@ -44,12 +44,14 @@ type Tracer interface {
 }
 
 // Writer streams events as JSON Lines. Construct with NewWriter and Close
-// (or Flush) when done.
+// (or Flush) when done; Close also surfaces the first error swallowed by
+// Emit, so callers learn about silently dropped events.
 type Writer struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
 	n   int
+	err error // first encode/flush error, surfaced by Close
 }
 
 // NewWriter returns a Tracer writing one JSON object per line to w.
@@ -59,12 +61,15 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // Emit writes the event. Encoding errors are deliberately swallowed —
-// tracing must never fail a simulation — but stop the writer counting.
+// tracing must never fail a simulation — but stop the writer counting and
+// are remembered for Close to report.
 func (w *Writer) Emit(e Event) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.enc.Encode(e); err == nil {
 		w.n++
+	} else if w.err == nil {
+		w.err = err
 	}
 }
 
@@ -80,6 +85,18 @@ func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.bw.Flush()
+}
+
+// Close flushes buffered output and returns the first error the writer
+// encountered — a swallowed Emit encode failure or the flush itself. The
+// writer must not be used after Close.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
 }
 
 // Counter tallies events by kind without storing them — the cheap tracer

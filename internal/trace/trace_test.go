@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -36,6 +39,48 @@ func TestWriterRoundTrip(t *testing.T) {
 		if got[i] != events[i] {
 			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
 		}
+	}
+}
+
+// failAfter errors every write once n bytes have passed through,
+// simulating a disk filling up mid-trace.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written >= f.n {
+		return 0, errDiskFull
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errDiskFull = fmt.Errorf("disk full")
+
+func TestWriterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Step: 1, Kind: KindMove})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close on healthy writer = %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Close did not flush buffered events")
+	}
+}
+
+func TestWriterCloseSurfacesEmitError(t *testing.T) {
+	// Small buffer so Emit itself hits the failing writer.
+	w := NewWriter(&failAfter{n: 0})
+	w.bw = bufio.NewWriterSize(&failAfter{n: 0}, 16)
+	w.enc = json.NewEncoder(w.bw)
+	for i := 0; i < 10; i++ {
+		w.Emit(Event{Step: i, Kind: KindMove})
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the write error")
 	}
 }
 

@@ -5,6 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
@@ -16,5 +24,10 @@ go test -race ./...
 
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
+
+echo "== metrics exposition smoke"
+go run ./cmd/routing -runs 1 -metrics /tmp/ci-metrics.txt >/dev/null
+grep -q '^routing_moves_total ' /tmp/ci-metrics.txt
+rm -f /tmp/ci-metrics.txt
 
 echo "CI OK"
