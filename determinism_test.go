@@ -101,6 +101,63 @@ func TestRoutingResultPinned(t *testing.T) {
 	}
 }
 
+// TestMappingBatchPinned pins a whole RunMany aggregate. Run seeds derive
+// from rng.DeriveSeed (SplitMix64 stream expansion of the base seed), so
+// these values were recorded when that derivation landed and double as
+// its regression goldens.
+func TestMappingBatchPinned(t *testing.T) {
+	worldFor := func(int) (*agentmesh.World, error) { return agentmesh.MappingNetwork(1) }
+	agg, err := agentmesh.RunMappingBatch(worldFor, agentmesh.MappingScenario{
+		Agents: 15, Kind: agentmesh.PolicyConscientious, Cooperate: true,
+	}, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Completed != 5 {
+		t.Errorf("Completed = %d, pinned 5", agg.Completed)
+	}
+	if want := []int{386, 227, 320, 256, 337}; !reflect.DeepEqual(agg.FinishTimes, want) {
+		t.Errorf("FinishTimes = %v, pinned %v", agg.FinishTimes, want)
+	}
+	pinF64(t, "Finish.Mean", agg.Finish.Mean, 305.19999999999999)
+	pinF64(t, "weightedSum(AvgCurve)", weightedSum(agg.AvgCurve), 70072.541955555571)
+	pinF64(t, "weightedSum(AvgMinCurve)", weightedSum(agg.AvgMinCurve), 64679.971333333327)
+	if agg.Overhead.Moves != 22815 {
+		t.Errorf("Overhead.Moves = %d, pinned 22815", agg.Overhead.Moves)
+	}
+	if agg.Overhead.Meetings != 1067 {
+		t.Errorf("Overhead.Meetings = %d, pinned 1067", agg.Overhead.Meetings)
+	}
+}
+
+// TestRoutingBatchPinned is TestMappingBatchPinned's routing twin.
+func TestRoutingBatchPinned(t *testing.T) {
+	worldFor := func(int) (*agentmesh.World, error) { return agentmesh.RoutingNetwork(1) }
+	agg, err := agentmesh.RunRoutingBatch(worldFor, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+	}, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinF64(t, "Mean.Mean", agg.Mean.Mean, 0.55895238095238109)
+	pinF64(t, "EndToEnd.Mean", agg.EndToEnd.Mean, 0.17808403361344544)
+	pinF64(t, "Stability", agg.Stability, 0.044690628385570613)
+	pinF64(t, "weightedSum(AvgSeries)", weightedSum(agg.AvgSeries), 26876.319327731093)
+	pinF64(t, "weightedSum(AvgIdeal)", weightedSum(agg.AvgIdeal), 44870.789915966387)
+	if agg.Overhead.Moves != 149675 {
+		t.Errorf("Overhead.Moves = %d, pinned 149675", agg.Overhead.Moves)
+	}
+	if agg.Overhead.Meetings != 142525 {
+		t.Errorf("Overhead.Meetings = %d, pinned 142525", agg.Overhead.Meetings)
+	}
+	if agg.Overhead.RouteDeposits != 18529 {
+		t.Errorf("Overhead.RouteDeposits = %d, pinned 18529", agg.Overhead.RouteDeposits)
+	}
+	if agg.Overhead.TrailAdoptions != 3745 {
+		t.Errorf("Overhead.TrailAdoptions = %d, pinned 3745", agg.Overhead.TrailAdoptions)
+	}
+}
+
 // TestMetricsPreserveDeterminism runs both scenarios with and without a
 // metrics registry attached and requires bit-identical Results: the
 // instrumentation layer must sit entirely outside the RNG and

@@ -367,8 +367,9 @@ type Aggregate struct {
 	Overhead core.Overhead
 }
 
-// RunMany executes runs independent runs, drawing run i's placement from
-// baseSeed+i. worldFor supplies the world for each run: return the same
+// RunMany executes runs independent runs, deriving run i's seed from
+// baseSeed via rng.DeriveSeed (a SplitMix64 stream expansion, so per-run
+// streams are decorrelated). worldFor supplies the world for each run: return the same
 // static world every time, or generate a fresh one for dynamic mapping.
 func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
 	if runs <= 0 {
@@ -382,7 +383,7 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 		if err != nil {
 			return Aggregate{}, err
 		}
-		res, err := Run(w, sc, baseSeed+uint64(r))
+		res, err := Run(w, sc, rng.DeriveSeed(baseSeed, uint64(r)))
 		if err != nil {
 			return Aggregate{}, err
 		}

@@ -47,6 +47,18 @@ func New(seed uint64) *Stream {
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
+// DeriveSeed expands (base, index) into the index-th seed of a SplitMix64
+// stream rooted at base. Successive indices yield statistically
+// independent seeds — unlike base+index, whose xoshiro initial states are
+// correlated across nearby runs. RunMany-style replication loops use this
+// to give run r the seed DeriveSeed(baseSeed, r), which is a pure function
+// of (base, index) and therefore identical no matter which worker, or how
+// many workers, execute the run.
+func DeriveSeed(base, index uint64) uint64 {
+	st := base + index*0x9e3779b97f4a7c15
+	return splitMix64(&st)
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
 	result := rotl(s.s1*5, 7) * 9

@@ -203,6 +203,44 @@ func TestZeroSeedUsable(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedStable(t *testing.T) {
+	if DeriveSeed(1, 5) != DeriveSeed(1, 5) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different bases produced the same run seed")
+	}
+}
+
+// TestDeriveSeedDecorrelated checks the property that motivated replacing
+// base+index: seeds of adjacent indices must not produce correlated
+// low-bit sequences.
+func TestDeriveSeedDecorrelated(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	// Adjacent streams should disagree on roughly half their bits.
+	agree := 0
+	const trials = 64
+	for i := uint64(0); i < trials; i++ {
+		a, b := New(DeriveSeed(7, i)), New(DeriveSeed(7, i+1))
+		for j := 0; j < 16; j++ {
+			if a.Uint64()&1 == b.Uint64()&1 {
+				agree++
+			}
+		}
+	}
+	frac := float64(agree) / float64(trials*16)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("adjacent derived streams agree on %.2f of low bits, want ~0.5", frac)
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	s := New(1)
 	for i := 0; i < b.N; i++ {

@@ -646,7 +646,7 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 		if err != nil {
 			return Aggregate{}, err
 		}
-		res, err := Run(w, sc, baseSeed+uint64(r))
+		res, err := Run(w, sc, rng.DeriveSeed(baseSeed, uint64(r)))
 		if err != nil {
 			return Aggregate{}, err
 		}
