@@ -5,9 +5,11 @@
 package agentmesh_test
 
 import (
+	"runtime"
 	"testing"
 
 	agentmesh "repro"
+	"repro/internal/parallel"
 )
 
 // mapWorld returns the shared canonical mapping network.
@@ -187,6 +189,66 @@ func BenchmarkNetworkGenerationRouting250(b *testing.B) {
 		if _, err := agentmesh.RoutingNetwork(uint64(i) + 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Replication-batch benchmarks: one whole RunMany batch (8 runs) per
+// iteration, sequential versus parallel across the machine's cores. The
+// parallel variant grants the executor budget NumCPU-1 extra workers
+// explicitly, so the measurement reflects the hardware it runs on — on a
+// single-core host it degrades to the sequential path by design, and the
+// recorded speedup is honestly ~1x.
+
+func benchBatch(b *testing.B, runWorkers int, batch func() error) {
+	if runWorkers > 1 {
+		old := parallel.Budget()
+		parallel.SetBudget(runtime.NumCPU() - 1)
+		defer parallel.SetBudget(old)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := batch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMappingBatch(b *testing.B) {
+	worldFor := func(int) (*agentmesh.World, error) { return agentmesh.MappingNetwork(1) }
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", runtime.NumCPU()}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := agentmesh.MappingScenario{
+				Agents: 15, Kind: agentmesh.PolicyConscientious, Cooperate: true,
+				RunWorkers: bc.workers,
+			}
+			benchBatch(b, bc.workers, func() error {
+				_, err := agentmesh.RunMappingBatch(worldFor, sc, 8, 7)
+				return err
+			})
+		})
+	}
+}
+
+func BenchmarkRoutingBatch(b *testing.B) {
+	worldFor := func(int) (*agentmesh.World, error) { return agentmesh.RoutingNetwork(1) }
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", runtime.NumCPU()}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := agentmesh.RoutingScenario{
+				Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+				Steps: 120, RunWorkers: bc.workers,
+			}
+			benchBatch(b, bc.workers, func() error {
+				_, err := agentmesh.RunRoutingBatch(worldFor, sc, 8, 7)
+				return err
+			})
+		})
 	}
 }
 

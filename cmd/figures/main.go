@@ -6,6 +6,7 @@
 //	figures -fig extA         # run the stigmergic-routing extension
 //	figures -all              # everything, in order
 //	figures -all -quick       # fast smoke pass (8 runs, smaller sweeps)
+//	figures -all -expworkers 4 -runworkers 2   # parallel, same numbers
 //	figures -fig 7 -tsv out/  # also write plottable TSV series
 //
 // Every experiment prints the regenerated results table and a set of
@@ -19,22 +20,26 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to reproduce: 1..11, A..E (or fig1..extE); empty with -all for everything")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "fast smoke pass (fewer runs, smaller sweeps)")
-		runs    = flag.Int("runs", 0, "independent runs per setting (default 40, paper-faithful)")
-		seed    = flag.Uint64("seed", 1, "root seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "simulation workers (1 = sequential)")
-		tsvDir  = flag.String("tsv", "", "directory to write per-figure TSV series into")
-		mdFile  = flag.String("md", "", "append Markdown sections for each experiment to this file")
-		list    = flag.Bool("list", false, "list available experiments")
+		fig        = flag.String("fig", "", "figure to reproduce: 1..11, A..E (or fig1..extE); empty with -all for everything")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "fast smoke pass (fewer runs, smaller sweeps)")
+		runs       = flag.Int("runs", 0, "independent runs per setting (default 40, paper-faithful)")
+		seed       = flag.Uint64("seed", 1, "root seed")
+		workers    = flag.Int("workers", runtime.NumCPU(), "simulation workers (1 = sequential)")
+		runWorkers = flag.Int("runworkers", 1, "concurrent independent runs per setting (results are identical at any value)")
+		expWorkers = flag.Int("expworkers", 1, "concurrent experiments (reports still print in order)")
+		tsvDir     = flag.String("tsv", "", "directory to write per-figure TSV series into")
+		mdFile     = flag.String("md", "", "append Markdown sections for each experiment to this file")
+		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -57,10 +62,11 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Runs:    *runs,
-		Seed:    *seed,
-		Workers: *workers,
-		Quick:   *quick,
+		Runs:       *runs,
+		Seed:       *seed,
+		Workers:    *workers,
+		RunWorkers: *runWorkers,
+		Quick:      *quick,
 	}
 	var md *os.File
 	if *mdFile != "" {
@@ -73,39 +79,74 @@ func main() {
 		defer md.Close()
 		fmt.Fprintf(md, "# Reproduction report (seed=%d)\n\n", cfg.Seed)
 	}
-	failed := 0
-	for _, id := range ids {
+
+	// Experiments are independent, so -expworkers runs them concurrently;
+	// reports are parked per slot and flushed strictly in id order, so the
+	// output (and any -md/-tsv files) is byte-identical at any worker
+	// count. Each experiment's seeds derive from its own labels, so the
+	// numbers themselves never depend on scheduling.
+	type outcome struct {
+		rep     experiments.Report
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(ids))
+	done := make([]bool, len(ids))
+	failed, emitted := 0, 0
+	var emitErr error
+	var mu sync.Mutex
+	flush := func() {
+		for emitted < len(ids) && done[emitted] {
+			id, out := ids[emitted], results[emitted]
+			emitted++
+			fmt.Println(out.rep.String())
+			fmt.Printf("(%s in %v)\n\n", id, out.elapsed.Round(time.Millisecond))
+			for _, c := range out.rep.Checks {
+				if !c.OK && !c.Known {
+					failed++
+				}
+			}
+			if md != nil {
+				if _, err := md.WriteString(out.rep.Markdown()); err != nil && emitErr == nil {
+					emitErr = err
+				}
+			}
+			if *tsvDir != "" && len(out.rep.Series) > 0 {
+				if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
+					if emitErr == nil {
+						emitErr = err
+					}
+					continue
+				}
+				path := filepath.Join(*tsvDir, id+".tsv")
+				if err := os.WriteFile(path, []byte(out.rep.TSV()), 0o644); err != nil {
+					if emitErr == nil {
+						emitErr = err
+					}
+					continue
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+	}
+	err := parallel.NewPool(*expWorkers).Run(len(ids), func(i int) error {
 		start := time.Now()
-		rep, err := experiments.Run(id, cfg)
+		rep, err := experiments.Run(ids[i], cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(rep.String())
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
-		for _, c := range rep.Checks {
-			if !c.OK && !c.Known {
-				failed++
-			}
-		}
-		if md != nil {
-			if _, err := md.WriteString(rep.Markdown()); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		if *tsvDir != "" && len(rep.Series) > 0 {
-			if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*tsvDir, id+".tsv")
-			if err := os.WriteFile(path, []byte(rep.TSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n\n", path)
-		}
+		mu.Lock()
+		results[i] = outcome{rep: rep, elapsed: time.Since(start)}
+		done[i] = true
+		flush()
+		mu.Unlock()
+		return nil
+	})
+	if err == nil {
+		err = emitErr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d shape check(s) deviated from the paper\n", failed)

@@ -40,6 +40,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "root seed (network and placements)")
 		maxSteps    = flag.Int("maxsteps", 200000, "per-run step budget")
 		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		runWorkers  = flag.Int("runworkers", 1, "concurrent independent runs (aggregates are identical at any value)")
 		curve       = flag.Bool("curve", false, "print the averaged knowledge curve as TSV")
 		traceFile   = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
 		metricsFile = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
@@ -52,10 +53,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mapping:", err)
 		os.Exit(2)
 	}
-	w, err := netgen.Generate(netgen.Spec{
+	spec := netgen.Spec{
 		N: *nodes, TargetEdges: *edges, ArenaSide: *arena,
 		RangeSpread: *spread, RequireStrong: true,
-	}, *seed)
+	}
+	w, err := netgen.Generate(spec, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapping:", err)
 		os.Exit(1)
@@ -71,6 +73,7 @@ func main() {
 		VisitCapacity: *memory,
 		MaxSteps:      *maxSteps,
 		Workers:       *workers,
+		RunWorkers:    *runWorkers,
 	}
 	var reg *metrics.Registry
 	if *metricsFile != "" || *httpAddr != "" {
@@ -92,7 +95,13 @@ func main() {
 		}
 		fmt.Printf("trace of one run written to %s\n", *traceFile)
 	}
-	agg, err := mapping.RunMany(func(int) (*network.World, error) { return w, nil }, sc, *runs, *seed)
+	// Parallel replication needs a fresh world per run; the same spec and
+	// seed regenerate an identical topology, so results do not change.
+	worldFor := func(int) (*network.World, error) { return w, nil }
+	if *runWorkers > 1 {
+		worldFor = func(int) (*network.World, error) { return netgen.Generate(spec, *seed) }
+	}
+	agg, err := mapping.RunMany(worldFor, sc, *runs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapping:", err)
 		os.Exit(1)

@@ -41,6 +41,7 @@ func main() {
 		runs        = flag.Int("runs", 40, "independent runs")
 		seed        = flag.Uint64("seed", 1, "root seed (world trace and placements)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		runWorkers  = flag.Int("runworkers", 1, "concurrent independent runs (aggregates are identical at any value)")
 		curve       = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
 		traceFile   = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
 		metricsFile = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
@@ -77,6 +78,7 @@ func main() {
 		HistorySize: *history,
 		Steps:       *steps,
 		Workers:     *workers,
+		RunWorkers:  *runWorkers,
 	}
 	var reg *metrics.Registry
 	if *metricsFile != "" || *httpAddr != "" {

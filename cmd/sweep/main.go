@@ -7,6 +7,7 @@
 //	sweep -scenario routing -param history -values 4,8,16,32 -communicate
 //	sweep -scenario mapping -param agents  -values 1,2,5,10,20 -stigmergy
 //	sweep -scenario mapping -param epsilon -values 0,0.1,0.2 -policy super
+//	sweep -scenario routing -param agents -values 10,50,100 -pointworkers 4 -runworkers 2
 package main
 
 import (
@@ -16,28 +17,33 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/routing"
 )
 
 func main() {
 	var (
-		scenario    = flag.String("scenario", "routing", "mapping | routing")
-		param       = flag.String("param", "agents", "mapping: agents|epsilon|memory; routing: agents|history")
-		values      = flag.String("values", "", "comma-separated sweep values (required)")
-		policy      = flag.String("policy", "", "agent policy (default: conscientious / oldest)")
-		cooperate   = flag.Bool("cooperate", true, "mapping: exchange maps in meetings")
-		communicate = flag.Bool("communicate", false, "routing: exchange best route in meetings")
-		stigmergy   = flag.Bool("stigmergy", false, "use footprints")
-		runs        = flag.Int("runs", 10, "independent runs per value")
-		seed        = flag.Uint64("seed", 1, "root seed")
-		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
-		metricsFile = flag.String("metrics", "", "dump the whole-sweep metrics snapshot to this file (Prometheus text; .json for JSON)")
+		scenario     = flag.String("scenario", "routing", "mapping | routing")
+		param        = flag.String("param", "agents", "mapping: agents|epsilon|memory; routing: agents|history")
+		values       = flag.String("values", "", "comma-separated sweep values (required)")
+		policy       = flag.String("policy", "", "agent policy (default: conscientious / oldest)")
+		cooperate    = flag.Bool("cooperate", true, "mapping: exchange maps in meetings")
+		communicate  = flag.Bool("communicate", false, "routing: exchange best route in meetings")
+		stigmergy    = flag.Bool("stigmergy", false, "use footprints")
+		runs         = flag.Int("runs", 10, "independent runs per value")
+		seed         = flag.Uint64("seed", 1, "root seed")
+		workers      = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs per point (aggregates are identical at any value)")
+		pointWorkers = flag.Int("pointworkers", 1, "concurrent sweep points (rows still emitted in sweep order)")
+		metricsFile  = flag.String("metrics", "", "dump the whole-sweep metrics snapshot to this file (Prometheus text; .json for JSON)")
+		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while sweeping")
 	)
 	flag.Parse()
 	if *values == "" {
@@ -50,14 +56,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	// One registry accumulates across the whole sweep; per-point columns
-	// come from counter deltas between snapshots taken around each point.
+	// Every point runs against a private registry (so per-point counter
+	// columns stay race-free under -pointworkers), and completed points
+	// are merged into this sweep-wide registry in sweep order — the view
+	// the -http endpoints and the -metrics dump serve.
 	reg := metrics.NewRegistry()
+	if *httpAddr != "" {
+		addr, err := metrics.StartServer(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics/expvar/pprof on http://%s\n", addr)
+	}
+	cfg := sweepConfig{
+		runs: *runs, seed: *seed,
+		workers: *workers, runWorkers: *runWorkers, pointWorkers: *pointWorkers,
+		reg: reg,
+	}
 	switch *scenario {
 	case "mapping":
-		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, *runs, *seed, *workers, reg)
+		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, cfg)
 	case "routing":
-		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, *runs, *seed, *workers, reg)
+		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, cfg)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -73,12 +94,57 @@ func main() {
 	}
 }
 
-// counterDeltas returns per-point growth of the named counters between two
-// snapshots of the sweep-wide registry.
-func counterDeltas(before, after *metrics.Snapshot, names ...string) []uint64 {
+// sweepConfig carries the execution knobs shared by both sweeps.
+type sweepConfig struct {
+	runs         int
+	seed         uint64
+	workers      int
+	runWorkers   int
+	pointWorkers int
+	reg          *metrics.Registry
+}
+
+// emitter streams completed point rows in sweep order: a point parks its
+// row and private registry in its slot, and whoever holds the lock
+// flushes the done prefix — printing rows and merging registries without
+// ever reordering or racing them.
+type emitter struct {
+	mu   sync.Mutex
+	rows []string
+	regs []*metrics.Registry
+	done []bool
+	next int
+	dst  *metrics.Registry
+}
+
+func newEmitter(n int, dst *metrics.Registry) *emitter {
+	return &emitter{
+		rows: make([]string, n),
+		regs: make([]*metrics.Registry, n),
+		done: make([]bool, n),
+		dst:  dst,
+	}
+}
+
+func (e *emitter) emit(i int, row string, reg *metrics.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rows[i], e.regs[i], e.done[i] = row, reg, true
+	for e.next < len(e.done) && e.done[e.next] {
+		fmt.Print(e.rows[e.next])
+		e.dst.Merge(e.regs[e.next])
+		e.rows[e.next], e.regs[e.next] = "", nil
+		e.next++
+	}
+}
+
+// counterValues reads the named counters out of one point's private
+// registry snapshot. The registry is born at the point, so totals ARE the
+// per-point deltas.
+func counterValues(s *metrics.Snapshot, names ...string) []uint64 {
 	out := make([]uint64, len(names))
 	for i, name := range names {
-		out[i] = after.Counter(name) - before.Counter(name)
+		out[i] = s.Counter(name)
 	}
 	return out
 }
@@ -96,7 +162,7 @@ func parseValues(s string) ([]float64, error) {
 	return out, nil
 }
 
-func sweepMapping(param string, vals []float64, policy string, cooperate, stigmergy bool, runs int, seed uint64, workers int, reg *metrics.Registry) error {
+func sweepMapping(param string, vals []float64, policy string, cooperate, stigmergy bool, cfg sweepConfig) error {
 	kind := core.PolicyConscientious
 	switch policy {
 	case "", "conscientious":
@@ -107,17 +173,31 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 	default:
 		return fmt.Errorf("unknown mapping policy %q", policy)
 	}
-	w, err := netgen.Generate(netgen.Mapping300(), seed)
-	if err != nil {
-		return err
+	pool := parallel.NewPool(cfg.pointWorkers)
+	// The mapping network is static, but concurrent points (or concurrent
+	// runs within a point) each need their own world; the same spec and
+	// seed regenerate an identical topology, so results do not change.
+	var worldFor func(int) (*network.World, error)
+	if pool.Parallel() || cfg.runWorkers > 1 {
+		worldFor = func(int) (*network.World, error) {
+			return netgen.Generate(netgen.Mapping300(), cfg.seed)
+		}
+	} else {
+		w, err := netgen.Generate(netgen.Mapping300(), cfg.seed)
+		if err != nil {
+			return err
+		}
+		worldFor = func(int) (*network.World, error) { return w, nil }
 	}
-	static := func(int) (*network.World, error) { return w, nil }
 	fmt.Printf("%s,finish_mean,finish_ci95,finish_min,finish_max,completed,runs,moves,meetings,topo_records\n", param)
-	var before, after metrics.Snapshot
-	for _, v := range vals {
+	em := newEmitter(len(vals), cfg.reg)
+	return pool.Run(len(vals), func(i int) error {
+		v := vals[i]
+		preg := metrics.NewRegistry()
 		sc := mapping.Scenario{
 			Agents: 15, Kind: kind, Cooperate: cooperate, Stigmergy: stigmergy,
-			MaxSteps: 200000, Workers: workers, Metrics: reg,
+			MaxSteps: 200000, Workers: cfg.workers, RunWorkers: cfg.runWorkers,
+			Metrics: preg,
 		}
 		switch param {
 		case "agents":
@@ -129,22 +209,20 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 		default:
 			return fmt.Errorf("unknown mapping param %q", param)
 		}
-		reg.Snapshot(&before)
-		agg, err := mapping.RunMany(static, sc, runs, seed+uint64(v*1000))
+		agg, err := mapping.RunMany(worldFor, sc, cfg.runs, cfg.seed+uint64(v*1000))
 		if err != nil {
 			return err
 		}
-		reg.Snapshot(&after)
-		d := counterDeltas(&before, &after,
+		d := counterValues(preg.Snapshot(nil),
 			"mapping_moves_total", "mapping_meetings_total", "mapping_topo_records_merged_total")
-		fmt.Printf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d,%d,%d,%d\n",
+		em.emit(i, fmt.Sprintf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d,%d,%d,%d\n",
 			v, agg.Finish.Mean, agg.Finish.CI, agg.Finish.Min, agg.Finish.Max,
-			agg.Completed, agg.Runs, d[0], d[1], d[2])
-	}
-	return nil
+			agg.Completed, agg.Runs, d[0], d[1], d[2]), preg)
+		return nil
+	})
 }
 
-func sweepRouting(param string, vals []float64, policy string, communicate, stigmergy bool, runs int, seed uint64, workers int, reg *metrics.Registry) error {
+func sweepRouting(param string, vals []float64, policy string, communicate, stigmergy bool, cfg sweepConfig) error {
 	kind := core.PolicyOldestNode
 	switch policy {
 	case "", "oldest", "oldest-node":
@@ -154,14 +232,17 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		return fmt.Errorf("unknown routing policy %q", policy)
 	}
 	worldFor := func(int) (*network.World, error) {
-		return netgen.Generate(netgen.Routing250(), seed)
+		return netgen.Generate(netgen.Routing250(), cfg.seed)
 	}
 	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,runs,moves,meetings,deposits,adoptions\n", param)
-	var before, after metrics.Snapshot
-	for _, v := range vals {
+	pool := parallel.NewPool(cfg.pointWorkers)
+	em := newEmitter(len(vals), cfg.reg)
+	return pool.Run(len(vals), func(i int) error {
+		v := vals[i]
+		preg := metrics.NewRegistry()
 		sc := routing.Scenario{
 			Agents: 100, Kind: kind, Communicate: communicate, Stigmergy: stigmergy,
-			Workers: workers, Metrics: reg,
+			Workers: cfg.workers, RunWorkers: cfg.runWorkers, Metrics: preg,
 		}
 		switch param {
 		case "agents":
@@ -171,18 +252,16 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		default:
 			return fmt.Errorf("unknown routing param %q", param)
 		}
-		reg.Snapshot(&before)
-		agg, err := routing.RunMany(worldFor, sc, runs, seed+uint64(v*1000))
+		agg, err := routing.RunMany(worldFor, sc, cfg.runs, cfg.seed+uint64(v*1000))
 		if err != nil {
 			return err
 		}
-		reg.Snapshot(&after)
-		d := counterDeltas(&before, &after,
+		d := counterValues(preg.Snapshot(nil),
 			"routing_moves_total", "routing_meetings_total",
 			"routing_deposits_total", "routing_route_adoptions_total")
-		fmt.Printf("%g,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
+		em.emit(i, fmt.Sprintf("%g,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
 			v, agg.Mean.Mean, agg.Mean.CI, agg.EndToEnd.Mean, agg.Stability, agg.Runs,
-			d[0], d[1], d[2], d[3])
-	}
-	return nil
+			d[0], d[1], d[2], d[3]), preg)
+		return nil
+	})
 }

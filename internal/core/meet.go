@@ -25,6 +25,24 @@ func NewGrouper(n int) *Grouper {
 	return &Grouper{count: make([]int32, n), cursor: make([]int32, n)}
 }
 
+// Reset re-sizes the grouper for a network of n nodes, reusing its buckets
+// when they are already big enough. Groupers keep their count array zeroed
+// between calls, so a reset grouper behaves exactly like a fresh one —
+// the property run-level executors rely on when recycling per-worker
+// scratch across runs.
+func (gr *Grouper) Reset(n int) {
+	if cap(gr.count) < n {
+		gr.count = make([]int32, n)
+		gr.cursor = make([]int32, n)
+		return
+	}
+	gr.count = gr.count[:n]
+	gr.cursor = gr.cursor[:n]
+	for i := range gr.count {
+		gr.count[i] = 0
+	}
+}
+
 // Meetings returns the groups with at least two members, ordered by node
 // ID with members in input order — the same deterministic contract as
 // GroupByNode.

@@ -33,7 +33,8 @@ func extH(cfg Config) (Report, error) {
 			return netgen.Generate(spec, cfg.Seed)
 		}
 		agg, err := routing.RunMany(worldFor, routing.Scenario{
-			Agents: 100, Kind: core.PolicyOldestNode, Workers: cfg.Workers,
+			Agents: 100, Kind: core.PolicyOldestNode,
+			Workers: cfg.Workers, RunWorkers: cfg.RunWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extH/"+m.name))
 		if err != nil {
 			return Report{}, err
@@ -91,10 +92,10 @@ func extI(cfg Config) (Report, error) {
 			return Report{}, err
 		}
 		asym := asymmetryFraction(w)
-		static := func(int) (*network.World, error) { return w, nil }
+		static := staticWorldFor(cfg, mapSpec, cfg.Seed, w)
 		mapAgg, err := mapping.RunMany(static, mapping.Scenario{
 			Agents: 15, Kind: core.PolicyConscientious, Cooperate: true,
-			MaxSteps: 200000, Workers: cfg.Workers,
+			MaxSteps: 200000, Workers: cfg.Workers, RunWorkers: cfg.RunWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extI/map/"+st.name))
 		if err != nil {
 			return Report{}, err
@@ -106,7 +107,8 @@ func extI(cfg Config) (Report, error) {
 			return netgen.Generate(routeSpec, cfg.Seed)
 		}
 		routeAgg, err := routing.RunMany(worldFor, routing.Scenario{
-			Agents: 100, Kind: core.PolicyOldestNode, Workers: cfg.Workers,
+			Agents: 100, Kind: core.PolicyOldestNode,
+			Workers: cfg.Workers, RunWorkers: cfg.RunWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extI/route/"+st.name))
 		if err != nil {
 			return Report{}, err
@@ -189,10 +191,10 @@ func extK(cfg Config) (Report, error) {
 		mapSpec.Placement = l.kind
 		mapSpec.MaxTries = 64
 		if w, err := netgen.Generate(mapSpec, cfg.Seed); err == nil {
-			static := func(int) (*network.World, error) { return w, nil }
+			static := staticWorldFor(cfg, mapSpec, cfg.Seed, w)
 			mapAgg, err := mapping.RunMany(static, mapping.Scenario{
 				Agents: 15, Kind: core.PolicyConscientious, Cooperate: true,
-				MaxSteps: 200000, Workers: cfg.Workers,
+				MaxSteps: 200000, Workers: cfg.Workers, RunWorkers: cfg.RunWorkers,
 			}, cfg.Runs, seedFor(cfg.Seed, "extK/map/"+l.name))
 			if err != nil {
 				return Report{}, err
@@ -205,7 +207,8 @@ func extK(cfg Config) (Report, error) {
 			return netgen.Generate(routeSpec, cfg.Seed)
 		}
 		routeAgg, err := routing.RunMany(worldFor, routing.Scenario{
-			Agents: 100, Kind: core.PolicyOldestNode, Workers: cfg.Workers,
+			Agents: 100, Kind: core.PolicyOldestNode,
+			Workers: cfg.Workers, RunWorkers: cfg.RunWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extK/route/"+l.name))
 		if err != nil {
 			return Report{}, err

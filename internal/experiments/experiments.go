@@ -22,6 +22,11 @@ type Config struct {
 	Seed uint64
 	// Workers sizes the simulation engine (0/1 = sequential).
 	Workers int
+	// RunWorkers is the number of independent replications each RunMany
+	// batch may execute concurrently (0/1 = sequential). Aggregates are
+	// bit-identical at any value; see internal/parallel for the shared
+	// budget that keeps RunWorkers × Workers from oversubscribing.
+	RunWorkers int
 	// Quick shrinks workloads (fewer runs, smaller sweeps) for smoke
 	// runs; reports note when it is set.
 	Quick bool

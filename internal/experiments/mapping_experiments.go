@@ -33,18 +33,31 @@ func seedFor(root uint64, label string) uint64 {
 	return rng.New(root).Named(label).Uint64()
 }
 
+// staticWorldFor adapts a shared static world to RunMany's worldFor
+// contract. Sequential replication shares w across runs; parallel
+// replication (cfg.RunWorkers > 1) needs a world per run, so every call
+// regenerates from (spec, seed) — an identical topology, hence identical
+// results.
+func staticWorldFor(cfg Config, spec netgen.Spec, seed uint64, w *network.World) func(int) (*network.World, error) {
+	if cfg.RunWorkers > 1 {
+		return func(int) (*network.World, error) { return netgen.Generate(spec, seed) }
+	}
+	return func(int) (*network.World, error) { return w, nil }
+}
+
 // mapSetting runs one mapping parameter setting.
 func mapSetting(cfg Config, label string, sc mapping.Scenario) (mapping.Aggregate, error) {
+	sc.Workers = cfg.Workers
+	sc.RunWorkers = cfg.RunWorkers
+	if sc.MaxSteps == 0 {
+		sc.MaxSteps = 200000
+	}
 	w, err := mappingWorld(cfg.Seed)
 	if err != nil {
 		return mapping.Aggregate{}, err
 	}
-	sc.Workers = cfg.Workers
-	if sc.MaxSteps == 0 {
-		sc.MaxSteps = 200000
-	}
-	static := func(int) (*network.World, error) { return w, nil }
-	return mapping.RunMany(static, sc, cfg.Runs, seedFor(cfg.Seed, label))
+	worldFor := staticWorldFor(cfg, netgen.Mapping300(), cfg.Seed, w)
+	return mapping.RunMany(worldFor, sc, cfg.Runs, seedFor(cfg.Seed, label))
 }
 
 // finishRow formats one agent type's finishing-time statistics.

@@ -22,9 +22,11 @@ func routingWorldFor(seed uint64) func(int) (*network.World, error) {
 	}
 }
 
-// routeSetting runs one routing parameter setting.
+// routeSetting runs one routing parameter setting. routingWorldFor
+// regenerates a fresh world per run, so replication parallelises safely.
 func routeSetting(cfg Config, label string, sc routing.Scenario) (routing.Aggregate, error) {
 	sc.Workers = cfg.Workers
+	sc.RunWorkers = cfg.RunWorkers
 	return routing.RunMany(routingWorldFor(cfg.Seed), sc, cfg.Runs, seedFor(cfg.Seed, label))
 }
 

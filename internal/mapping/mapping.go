@@ -11,10 +11,12 @@ package mapping
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -58,6 +60,15 @@ type Scenario struct {
 	MaxSteps int
 	// Workers sizes the engine (0/1 = sequential).
 	Workers int
+	// RunWorkers is the number of independent runs RunMany may execute
+	// concurrently (0/1 = sequential). Replication is embarrassingly
+	// parallel, so aggregates are bit-identical at any value; extra
+	// goroutines come from the shared parallel budget, with run workers
+	// taking priority over the per-agent engine. Parallel replication
+	// requires worldFor to return a fresh world per run (even static
+	// worlds are stepped), which RunMany enforces. A Tracer forces
+	// sequential execution so the shared sink observes runs in order.
+	RunWorkers int
 	// Tracer, if set, receives structured events (moves, meetings,
 	// per-step knowledge). Events are emitted from sequential sections,
 	// so traces are reproducible with Workers <= 1.
@@ -178,10 +189,43 @@ func (m *runMetrics) syncCounts(agents []*core.Agent) {
 	m.prevOverhead = cur
 }
 
+// runState carries the per-run buffers a replication worker reuses from
+// run to run: the decided-move slice and the meeting grouper. Pooling it
+// keeps the zero-allocation property of a single run intact across a
+// whole RunMany batch, sequential or parallel.
+type runState struct {
+	next    []NodeID
+	grouper *core.Grouper
+}
+
+// statePool recycles runState across runs and executor workers.
+var statePool = sync.Pool{New: func() any { return new(runState) }}
+
+// reset sizes st for a run over n nodes with the given agent count.
+func (st *runState) reset(n, agents int) {
+	if cap(st.next) < agents {
+		st.next = make([]NodeID, agents)
+	}
+	st.next = st.next[:agents]
+	if st.grouper == nil {
+		st.grouper = core.NewGrouper(n)
+	} else {
+		st.grouper.Reset(n)
+	}
+}
+
 // Run executes one mapping run on w with random agent placement drawn from
-// seed. Static worlds can be shared across runs; dynamic worlds are
-// stepped and should be freshly generated per run.
+// seed. Static worlds can be shared across sequential runs; dynamic worlds
+// are stepped and should be freshly generated per run.
 func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
+	st := statePool.Get().(*runState)
+	res, err := run(w, sc, seed, st)
+	statePool.Put(st)
+	return res, err
+}
+
+// run is Run on caller-provided scratch state.
+func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, error) {
 	sc = sc.withDefaults()
 	root := rng.New(seed).Named("mapping")
 	agents, err := placeAgents(w, sc, root)
@@ -193,8 +237,9 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 		board = stigmergy.NewBoard(w.N(), sc.StigPerNode, sc.StigWindow)
 	}
 	engine := sim.NewEngine(sc.Workers)
-	next := make([]NodeID, len(agents))
-	grouper := core.NewGrouper(w.N())
+	st.reset(w.N(), len(agents))
+	next := st.next
+	grouper := st.grouper
 	res := Result{
 		Curve:    make([]float64, 0, 1024),
 		MinCurve: make([]float64, 0, 1024),
@@ -367,26 +412,57 @@ type Aggregate struct {
 	Overhead core.Overhead
 }
 
-// RunMany executes runs independent runs, deriving run i's seed from
-// baseSeed via rng.DeriveSeed (a SplitMix64 stream expansion, so per-run
-// streams are decorrelated). worldFor supplies the world for each run: return the same
-// static world every time, or generate a fresh one for dynamic mapping.
+// RunMany executes runs independent runs, drawing run i's placement from
+// the i-th seed of a SplitMix64 stream rooted at baseSeed
+// (rng.DeriveSeed). worldFor supplies the world for each run: return the
+// same static world every time (sequential only), or generate a fresh one
+// for dynamic mapping.
+//
+// With Scenario.RunWorkers > 1 the runs execute on a bounded worker pool
+// (see internal/parallel). Each run draws its seed from its index alone
+// and writes into its own result slot, and the reduction below walks the
+// slots in run order, so the aggregate is bit-identical to the sequential
+// path at any worker count. Parallel replication requires worldFor to
+// return a fresh world per run — even static worlds carry mutable state
+// (step counter, metrics hook) — and RunMany fails loudly when it sees
+// the same *World twice. A Tracer forces sequential execution: the sink
+// is shared across runs and must see them in order.
 func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
 	if runs <= 0 {
 		return Aggregate{}, fmt.Errorf("mapping: runs must be positive")
+	}
+	workers := sc.RunWorkers
+	if sc.Tracer != nil {
+		workers = 1
+	}
+	pool := parallel.NewPool(workers)
+	results := make([]Result, runs)
+	var guard worldGuard
+	err := pool.Run(runs, func(r int) error {
+		w, err := worldFor(r)
+		if err != nil {
+			return err
+		}
+		if pool.Parallel() {
+			if err := guard.claim(w, r); err != nil {
+				return err
+			}
+		}
+		res, err := Run(w, sc, rng.DeriveSeed(baseSeed, uint64(r)))
+		if err != nil {
+			return err
+		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return Aggregate{}, err
 	}
 	agg := Aggregate{Runs: runs}
 	curves := make([][]float64, 0, runs)
 	minCurves := make([][]float64, 0, runs)
 	for r := 0; r < runs; r++ {
-		w, err := worldFor(r)
-		if err != nil {
-			return Aggregate{}, err
-		}
-		res, err := Run(w, sc, rng.DeriveSeed(baseSeed, uint64(r)))
-		if err != nil {
-			return Aggregate{}, err
-		}
+		res := results[r]
 		if res.Finished {
 			agg.Completed++
 			agg.FinishTimes = append(agg.FinishTimes, res.FinishStep)
@@ -399,6 +475,26 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 	agg.AvgCurve = stats.AverageSeries(curves)
 	agg.AvgMinCurve = stats.AverageSeries(minCurves)
 	return agg, nil
+}
+
+// worldGuard detects worldFor implementations that hand the same *World
+// to two concurrent runs.
+type worldGuard struct {
+	mu   sync.Mutex
+	seen map[*network.World]int
+}
+
+func (g *worldGuard) claim(w *network.World, run int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen == nil {
+		g.seen = make(map[*network.World]int)
+	}
+	if prev, dup := g.seen[w]; dup {
+		return fmt.Errorf("parallel replication needs a fresh world per run: worldFor returned the same *World for runs %d and %d", prev, run)
+	}
+	g.seen[w] = run
+	return nil
 }
 
 // Accuracy compares an agent's reconstructed map against the world's

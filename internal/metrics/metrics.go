@@ -356,6 +356,43 @@ func (r *Registry) Snapshot(dst *Snapshot) *Snapshot {
 	return dst
 }
 
+// Merge folds src's instruments into r: counters and histogram buckets,
+// counts, and sums add; gauges adopt src's value (last merge wins).
+// Instruments absent from r are registered with src's bounds. Parallel
+// sweeps give every parameter point a private registry so per-point
+// counter deltas stay race-free, then Merge the points in index order
+// into the sweep-wide registry the exposition endpoints serve.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	counters, gauges, hists := src.counters, src.gauges, src.hists
+	src.mu.Unlock()
+	for _, s := range counters {
+		r.Counter(s.name).Add(s.v.Load())
+	}
+	for _, s := range gauges {
+		r.Gauge(s.name).Set(math.Float64frombits(s.bits.Load()))
+	}
+	for _, s := range hists {
+		dst := r.histSlot(s.name, s.bounds, s.bounds)
+		if len(dst.buckets) == len(s.buckets) {
+			for i := range s.buckets {
+				dst.buckets[i].Add(s.buckets[i].Load())
+			}
+		}
+		dst.count.Add(s.count.Load())
+		for {
+			old := dst.sumBits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + math.Float64frombits(s.sumBits.Load()))
+			if dst.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}
+
 // Counter returns the snapshotted value of the named counter (0 if
 // absent) — the lookup sweep/watch use for per-point deltas.
 func (s *Snapshot) Counter(name string) uint64 {

@@ -108,6 +108,55 @@ func TestSnapshotLookups(t *testing.T) {
 	}
 }
 
+func TestMergeFoldsRegistries(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("runs").Add(2)
+	dst.Gauge("conn").Set(0.5)
+	dst.Histogram("size", []float64{1, 2}).Observe(1)
+
+	src := NewRegistry()
+	src.Counter("runs").Add(3)
+	src.Counter("fresh").Add(9)
+	src.Gauge("conn").Set(0.75)
+	h := src.Histogram("size", []float64{1, 2})
+	h.Observe(2)
+	h.Observe(5)
+
+	dst.Merge(src)
+	s := dst.Snapshot(nil)
+	if got := s.Counter("runs"); got != 5 {
+		t.Errorf("merged counter = %d, want 5", got)
+	}
+	if got := s.Counter("fresh"); got != 9 {
+		t.Errorf("counter absent from dst should be adopted: got %d, want 9", got)
+	}
+	if got := s.Gauge("conn"); got != 0.75 {
+		t.Errorf("merged gauge = %g, want src value 0.75", got)
+	}
+	var hp *HistPoint
+	for i := range s.Hists {
+		if s.Hists[i].Name == "size" {
+			hp = &s.Hists[i]
+		}
+	}
+	if hp == nil {
+		t.Fatal("merged histogram missing")
+	}
+	if hp.Count != 3 || hp.Sum != 8 {
+		t.Errorf("merged histogram count/sum = %d/%g, want 3/8", hp.Count, hp.Sum)
+	}
+	wantBuckets := []uint64{1, 1, 1} // obs 1, 2, 5 against bounds {1,2}
+	for i, w := range wantBuckets {
+		if hp.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hp.Buckets[i], w)
+		}
+	}
+	// nil receivers and sources are no-ops.
+	var nilReg *Registry
+	nilReg.Merge(src)
+	dst.Merge(nil)
+}
+
 func TestWritePromFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("moves_total").Add(3)

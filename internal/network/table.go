@@ -111,3 +111,13 @@ func staler(a, b Entry) bool {
 func (t *Table) Clear() {
 	t.entries = t.entries[:0]
 }
+
+// Reset returns the table to its just-constructed state with the given
+// capacity, keeping the entry storage: entries are dropped and the
+// eviction count is zeroed. Run-level executors reset pooled tables
+// between runs so a recycled table is indistinguishable from a fresh one.
+func (t *Table) Reset(capacity int) {
+	t.capacity = capacity
+	t.entries = t.entries[:0]
+	t.evictions = 0
+}

@@ -17,10 +17,12 @@ package routing
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -58,9 +60,19 @@ type Scenario struct {
 	StigWindow  int
 	// Workers sizes the engine (0/1 = sequential).
 	Workers int
+	// RunWorkers is the number of independent runs RunMany may execute
+	// concurrently (0/1 = sequential). Replication is embarrassingly
+	// parallel, so aggregates are bit-identical at any value; extra
+	// goroutines are claimed from the shared parallel budget, with run
+	// workers taking priority over the per-agent engine. When a Tracer or
+	// Observer is attached, RunMany forces sequential execution so the
+	// shared sink observes runs in order.
+	RunWorkers int
 	// Observer, if set, is called once per step after deposits and
 	// measurement, before the world moves — the hook the packet-level
-	// traffic harness uses to forward packets against live tables.
+	// traffic harness uses to forward packets against live tables. The
+	// *Tables passed to it is recycled after the run ends; observers must
+	// not retain it.
 	Observer func(step int, w *network.World, tables *Tables)
 	// Tracer, if set, receives structured events (moves, meetings,
 	// deposits, per-step connectivity). Events are emitted from
@@ -418,9 +430,66 @@ func (m *runMetrics) syncCounts(agents []*core.Agent, tables *Tables) {
 	m.prevEvict = ev
 }
 
+// runState carries the per-run buffers a replication worker reuses from
+// run to run: the decided-move slice, the meeting grouper, the
+// connectivity scratch, and the node tables. Pooling it keeps the
+// zero-allocation property of a single run intact across a whole RunMany
+// batch, sequential or parallel — each worker drains and refills the pool
+// instead of reallocating per run. The zero value is ready; reset
+// prepares it for a world of n nodes.
+type runState struct {
+	next    []NodeID
+	grouper *core.Grouper
+	scratch Scratch
+	tables  Tables
+}
+
+// statePool recycles runState across runs and executor workers.
+var statePool = sync.Pool{New: func() any { return new(runState) }}
+
+// reset sizes st for a run over n nodes with the given agent count and
+// table capacity, leaving every buffer indistinguishable from freshly
+// allocated storage.
+func (st *runState) reset(n, agents, capacity int) {
+	if cap(st.next) < agents {
+		st.next = make([]NodeID, agents)
+	}
+	st.next = st.next[:agents]
+	if st.grouper == nil {
+		st.grouper = core.NewGrouper(n)
+	} else {
+		st.grouper.Reset(n)
+	}
+	st.tables.reset(n, capacity)
+}
+
+// reset prepares ts for a fresh run over n nodes with per-table capacity,
+// reusing table storage where possible.
+func (ts *Tables) reset(n, capacity int) {
+	if cap(ts.tables) < n {
+		ts.tables = make([]*network.Table, n)
+	}
+	ts.tables = ts.tables[:n]
+	for i, t := range ts.tables {
+		if t == nil {
+			ts.tables[i] = network.NewTable(capacity)
+		} else {
+			t.Reset(capacity)
+		}
+	}
+}
+
 // Run executes one routing run on w. The world is consumed (stepped); use
 // a fresh world per run. Agent placement is drawn from seed.
 func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
+	st := statePool.Get().(*runState)
+	res, err := run(w, sc, seed, st)
+	statePool.Put(st)
+	return res, err
+}
+
+// run is Run on caller-provided scratch state.
+func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, error) {
 	sc = sc.withDefaults()
 	if len(w.Gateways()) == 0 {
 		return Result{}, fmt.Errorf("routing: world has no gateways")
@@ -439,15 +508,16 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	tables := NewTables(w.N(), capacity)
+	st.reset(w.N(), len(agents), capacity)
+	tables := &st.tables
 	var board *stigmergy.Board
 	if sc.Stigmergy {
 		board = stigmergy.NewBoard(w.N(), sc.StigPerNode, sc.StigWindow)
 	}
 	engine := sim.NewEngine(sc.Workers)
-	next := make([]NodeID, len(agents))
-	grouper := core.NewGrouper(w.N())
-	var scratch Scratch
+	next := st.next
+	grouper := st.grouper
+	scratch := &st.scratch
 	res := Result{
 		Connectivity: make([]float64, 0, sc.Steps),
 		EndToEnd:     make([]float64, 0, sc.Steps),
@@ -632,9 +702,48 @@ type Aggregate struct {
 // RunMany executes runs independent runs. worldFor must return a FRESH
 // world per call; to follow the paper (same node placement and movements
 // in every run) regenerate from the same world seed each time.
+//
+// With Scenario.RunWorkers > 1 the runs execute on a bounded worker pool
+// (see internal/parallel). Each run draws its seed from its index alone
+// and writes into its own result slot, and the reduction below walks the
+// slots in run order, so the aggregate is bit-identical to the sequential
+// path at any worker count. A Tracer or Observer forces sequential
+// execution: those sinks are shared across runs and must see them in
+// order.
 func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
 	if runs <= 0 {
 		return Aggregate{}, fmt.Errorf("routing: runs must be positive")
+	}
+	workers := sc.RunWorkers
+	if sc.Tracer != nil || sc.Observer != nil {
+		workers = 1
+	}
+	pool := parallel.NewPool(workers)
+	results := make([]Result, runs)
+	// Static worlds tempt callers into returning one shared *World from
+	// worldFor; Run still mutates it (step counter, metrics hook,
+	// connectivity scratch), so that is a data race under run-level
+	// parallelism. Catch it loudly rather than corrupting results.
+	var guard worldGuard
+	err := pool.Run(runs, func(r int) error {
+		w, err := worldFor(r)
+		if err != nil {
+			return err
+		}
+		if pool.Parallel() {
+			if err := guard.claim(w, r); err != nil {
+				return err
+			}
+		}
+		res, err := Run(w, sc, rng.DeriveSeed(baseSeed, uint64(r)))
+		if err != nil {
+			return err
+		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return Aggregate{}, err
 	}
 	agg := Aggregate{Runs: runs}
 	series := make([][]float64, 0, runs)
@@ -642,14 +751,7 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 	stds := make([]float64, 0, runs)
 	e2e := make([]float64, 0, runs)
 	for r := 0; r < runs; r++ {
-		w, err := worldFor(r)
-		if err != nil {
-			return Aggregate{}, err
-		}
-		res, err := Run(w, sc, rng.DeriveSeed(baseSeed, uint64(r)))
-		if err != nil {
-			return Aggregate{}, err
-		}
+		res := results[r]
 		if !math.IsNaN(res.Mean) {
 			agg.Means = append(agg.Means, res.Mean)
 		}
@@ -667,4 +769,24 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 	agg.AvgSeries = stats.AverageSeries(series)
 	agg.AvgIdeal = stats.AverageSeries(ideal)
 	return agg, nil
+}
+
+// worldGuard detects worldFor implementations that hand the same *World
+// to two concurrent runs.
+type worldGuard struct {
+	mu   sync.Mutex
+	seen map[*network.World]int
+}
+
+func (g *worldGuard) claim(w *network.World, run int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen == nil {
+		g.seen = make(map[*network.World]int)
+	}
+	if prev, dup := g.seen[w]; dup {
+		return fmt.Errorf("parallel replication needs a fresh world per run: worldFor returned the same *World for runs %d and %d", prev, run)
+	}
+	g.seen[w] = run
+	return nil
 }

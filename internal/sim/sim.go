@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Engine executes batches of independent work items, sequentially or on a
@@ -47,27 +49,38 @@ func (e *Engine) Parallel() bool { return e.workers > 1 }
 // independent when the engine is parallel; the engine blocks until all
 // complete. Order of execution is unspecified in parallel mode, so any
 // dependence on ordering is a bug in the caller.
+//
+// Extra goroutines beyond the caller are claimed from the shared
+// parallel budget per call, so an engine nested under a saturated
+// run-level pool degrades gracefully to a sequential sweep — the outer
+// replication parallelism takes priority (see internal/parallel).
 func (e *Engine) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
-		return
-	}
-	if e.workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
 		return
 	}
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
+	extra := 0
+	if workers > 1 {
+		extra = parallel.TryAcquire(workers - 1)
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	// Lock-free work stealing: each worker claims the next index with one
 	// atomic add, so dispatch costs a single contended RMW instead of a
 	// mutex round trip (see BenchmarkForEachDispatch for the difference).
+	// The caller participates as a worker so exactly extra goroutines are
+	// spawned for the extra budget tokens held.
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
 		go func() {
 			defer wg.Done()
 			for {
@@ -79,7 +92,15 @@ func (e *Engine) ForEach(n int, fn func(i int)) {
 			}
 		}()
 	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
 	wg.Wait()
+	parallel.Release(extra)
 }
 
 // StepFunc advances a simulation one step and reports whether the run is

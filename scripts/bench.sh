@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Replication benchmark harness: runs the RunMany batch benchmarks
+# (sequential vs parallel executor) plus a sweep wall-clock comparison, and
+# emits both the raw `go test -bench` output (results/bench_parallel.txt)
+# and a machine-readable summary (results/BENCH_parallel.json) with
+# per-benchmark ns/op, allocs/op, and parallel-over-sequential speedup.
+# Usage: scripts/bench.sh [benchtime]   (default 5x; `scripts/bench.sh 1x`
+# is the CI smoke run, which skips the sweep timing). Set BENCH_OUT to
+# redirect the artifacts away from results/ (CI smokes into a temp dir so
+# the committed numbers survive).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-5x}"
+out="${BENCH_OUT:-results}"
+raw="$out/bench_parallel.txt"
+json="$out/BENCH_parallel.json"
+mkdir -p "$out"
+
+{
+  echo "# RunMany replication benchmarks — sequential vs parallel executor"
+  echo "# host: $(nproc) CPU(s), $(go version | cut -d' ' -f3-)"
+  echo "# benchtime: $benchtime"
+  echo "#"
+  echo "# NOTE: the parallel variant grants the executor budget NumCPU-1 extra"
+  echo "# workers, so on a single-core host it degrades to the sequential path"
+  echo "# and the recorded speedup is honestly ~1x. Replication is"
+  echo "# embarrassingly parallel (independent runs, ordered reduction), so an"
+  echo "# 8-core host runs the 8-run batches in ~ceil(8/8)=1 run-times instead"
+  echo "# of 8 — i.e. the >=4x target engages once >=4 cores grant tokens."
+  go test -run '^$' -benchtime "$benchtime" -benchmem \
+    -bench 'Fig8PopulationSweep$|Fig11OldestComm$|MappingBatch|RoutingBatch' .
+} | tee "$raw"
+
+awk '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (!(name in ns)) order[n++] = name
+  ns[name] = $3
+  allocs[name] = $7
+}
+END {
+  printf "[\n"
+  for (i = 0; i < n; i++) {
+    nm = order[i]
+    base = nm
+    sub(/\/parallel$/, "/sequential", base)
+    sp = (nm ~ /\/parallel$/ && ns[base] + 0 > 0) ? ns[base] / ns[nm] : 1.0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"speedup_vs_sequential\": %.3f}%s\n", \
+      nm, ns[nm], allocs[nm], sp, (i < n - 1 ? "," : "")
+  }
+  printf "]\n"
+}' "$raw" > "$json"
+echo "wrote $json"
+
+if [ "$benchtime" != "1x" ]; then
+  {
+    echo ""
+    echo "# sweep wall-clock: cmd/sweep routing agents sweep, runs=4/point,"
+    echo "# -runworkers 1 vs -runworkers \$(nproc) (identical TSV either way)"
+    for rw in 1 "$(nproc)"; do
+      start=$(date +%s%N)
+      go run ./cmd/sweep -scenario routing -param agents -values 25,50 \
+        -runs 4 -runworkers "$rw" >/dev/null
+      end=$(date +%s%N)
+      echo "sweep runworkers=$rw: $(( (end - start) / 1000000 )) ms"
+    done
+  } | tee -a "$raw"
+fi

@@ -22,8 +22,25 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== parallel determinism gate (GOMAXPROCS=2 and NumCPU, under -race)"
+# The full suite above ran at the host's default GOMAXPROCS; re-run the
+# executor equivalence and pinned-batch tests at a forced 2 so a many-core
+# host also exercises the constrained-budget schedule (and a 1-core host
+# exercises a parallel one).
+GOMAXPROCS=2 go test -race -run 'ParallelEquivalence|ParallelDeterminism|ParallelSharedWorld|BatchPinned' \
+  . ./internal/routing ./internal/mapping
+go test -race -run 'ParallelEquivalence|ParallelDeterminism' \
+  . ./internal/routing ./internal/mapping
+
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
+
+echo "== bench.sh smoke (artifact pipeline, temp output)"
+benchout=$(mktemp -d)
+BENCH_OUT="$benchout" scripts/bench.sh 1x >/dev/null
+test -s "$benchout/BENCH_parallel.json"
+grep -q '"speedup_vs_sequential"' "$benchout/BENCH_parallel.json"
+rm -rf "$benchout"
 
 echo "== metrics exposition smoke"
 go run ./cmd/routing -runs 1 -metrics /tmp/ci-metrics.txt >/dev/null
