@@ -5,11 +5,18 @@
 package agentmesh_test
 
 import (
+	"fmt"
+	"math"
 	"runtime"
 	"testing"
 
 	agentmesh "repro"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/network"
 	"repro/internal/parallel"
+	"repro/internal/radio"
+	"repro/internal/rng"
 )
 
 // mapWorld returns the shared canonical mapping network.
@@ -275,5 +282,71 @@ func BenchmarkParallelVsSequentialMapping(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchStepWorld builds a raw dynamic world at the paper's MANET density
+// (scaled from the 250-node routing arena): half the nodes roam under the
+// random-waypoint model — local hops with pause times, so at any step a
+// fraction of the fleet is mid-leg and the rest is dwelling — half are
+// stationary, and half of the stationary nodes carry decaying batteries.
+// That is the mix the incremental topology engine classifies into
+// moved-node box scans, dwell-time expiry checks, and decay cursors.
+func benchStepWorld(b *testing.B, n int) *network.World {
+	b.Helper()
+	s := rng.New(uint64(n))
+	side := 150 * math.Sqrt(float64(n)/250) // constant node density as n grows
+	arena := geom.Square(side)
+	pos := make([]geom.Point, n)
+	radios := make([]radio.Radio, n)
+	movers := make([]mobility.Mover, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: s.Range(0, side), Y: s.Range(0, side)}
+		if i%4 == 1 {
+			radios[i] = radio.NewBattery(s.Range(10, 20), 0.0005, 0.6)
+		} else {
+			radios[i] = radio.New(s.Range(10, 20))
+		}
+		if i%2 == 0 {
+			pause := 40 + int(s.Intn(81)) // dwell 40-120 steps between hops
+			movers[i] = mobility.NewLocalWaypoint(arena, 30, 0.5, 3, pause, s.Child(uint64(i)))
+		} else {
+			movers[i] = mobility.Static{}
+		}
+	}
+	w, err := network.NewWorld(network.Config{
+		Arena: arena, Positions: pos, Radios: radios, Movers: movers,
+		Gateways: []network.NodeID{0, 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkWorldStep measures raw per-step topology maintenance at
+// growing network sizes with mover fraction 0.5. mode=rebuild forces the
+// pre-incremental full per-step recompute; mode=incremental is the
+// churn-proportional engine (the default for dynamic worlds). Both modes
+// produce bit-identical topologies (pinned by the equivalence and fuzz
+// tests in internal/network), so the ratio is pure maintenance cost.
+func BenchmarkWorldStep(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000} {
+		for _, mode := range []string{"rebuild", "incremental"} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				w := benchStepWorld(b, n)
+				w.SetFullRebuild(mode == "rebuild")
+				// Warm scratch storage and let the waypoint fleet settle
+				// into its steady-state moving/dwelling mix before timing.
+				for i := 0; i < 150; i++ {
+					w.Step()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.Step()
+				}
+			})
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"slices"
 	"sync"
 
@@ -122,7 +123,7 @@ func GroupByNode(agents []*Agent) [][]*Agent {
 type meetScratch struct {
 	sharers []*Agent
 	vs      []*Agent
-	holder  []int16
+	masks   []uint64 // pre-meeting known-mask snapshots + their union
 	mems    []*knowledge.Visits
 	merge   knowledge.MergeScratch
 }
@@ -157,35 +158,49 @@ func ExchangeTopology(group []*Agent) {
 	if len(sharers) < 2 {
 		return
 	}
-	// Everyone ends up with the union of the group's knowledge. Rather
-	// than snapshotting every member (expensive when merged agents clump
-	// and meet every step), precompute one holder per node record from
-	// the pre-meeting state; the data a holder passes on is identical
-	// whether it knew the record first- or second-hand, so direct
-	// transfer preserves the simultaneous-exchange semantics.
+	// Everyone ends up with the union of the group's knowledge. The data
+	// a holder passes on is identical whether it knew the record first-
+	// or second-hand, so direct transfer from the first pre-meeting
+	// knower preserves the simultaneous-exchange semantics. Pre-meeting
+	// known-mask snapshots make the set arithmetic word-parallel: each
+	// member's missing records are (union &^ own) scans, 64 nodes per
+	// word, and the per-record holder search only runs for records that
+	// actually transfer. Records known before the meeting are never
+	// relearned during it, so a holder's neighbour list is stable while
+	// the group updates.
 	n := sharers[0].Topo.N()
-	if cap(ms.holder) < n {
-		ms.holder = make([]int16, n)
+	words := (n + 63) / 64
+	need := (len(sharers) + 1) * words
+	if cap(ms.masks) < need {
+		ms.masks = make([]uint64, need)
 	}
-	holder := ms.holder[:n]
-	for u := 0; u < n; u++ {
-		holder[u] = -1
-		for j, a := range sharers {
-			if a.Topo.Knows(NodeID(u)) {
-				holder[u] = int16(j)
-				break
-			}
+	masks := ms.masks[:need]
+	union := masks[len(sharers)*words:]
+	clear(union)
+	for j, a := range sharers {
+		snap := masks[j*words : (j+1)*words]
+		copy(snap, a.Topo.KnownMask())
+		for wi, mw := range snap {
+			union[wi] |= mw
 		}
 	}
 	for i, a := range sharers {
 		a.Overhead.Meetings++
-		for u := 0; u < n; u++ {
-			j := holder[u]
-			if j < 0 || int(j) == i || a.Topo.Knows(NodeID(u)) {
-				continue
+		snap := masks[i*words : (i+1)*words]
+		for wi := 0; wi < words; wi++ {
+			missing := union[wi] &^ snap[wi]
+			for missing != 0 {
+				b := bits.TrailingZeros64(missing)
+				missing &= missing - 1
+				u := NodeID(wi<<6 + b)
+				for j := range sharers {
+					if masks[j*words+wi]&(1<<uint(b)) != 0 {
+						a.Topo.LearnSecondHand(u, sharers[j].Topo.Neighbors(u))
+						break
+					}
+				}
+				a.Overhead.TopoRecordsReceived++
 			}
-			a.Topo.LearnSecondHand(NodeID(u), sharers[j].Topo.Neighbors(NodeID(u)))
-			a.Overhead.TopoRecordsReceived++
 		}
 	}
 	mergeVisitSharers(sharers, ms)

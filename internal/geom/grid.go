@@ -11,9 +11,19 @@ type Grid struct {
 	cell     float64
 	cols     int
 	rows     int
-	cells    [][]int32 // cell index -> item ids
-	pos      []Point   // item id -> position
-	occupied []int     // cells currently non-empty, for fast Reset
+	cells    [][]CellEntry // cell index -> items with embedded positions
+	pos      []Point       // item id -> position
+	occupied []int         // cells touched since the last Rebuild, for fast Reset
+	inOcc    []bool        // cell index -> already listed in occupied
+}
+
+// CellEntry is one item in a grid cell bucket. The position is embedded so
+// distance filters read the bucket sequentially instead of chasing the
+// item id into a separate position array — the dominant cost of candidate
+// scans at scale. X and Y are exact copies of the item's position.
+type CellEntry struct {
+	X, Y float64
+	ID   int32
 }
 
 // NewGrid returns a grid over arena sized for n items with the given cell
@@ -36,8 +46,9 @@ func NewGrid(arena Rect, n int, cell float64) *Grid {
 		cell:  cell,
 		cols:  cols,
 		rows:  rows,
-		cells: make([][]int32, cols*rows),
+		cells: make([][]CellEntry, cols*rows),
 		pos:   make([]Point, n),
+		inOcc: make([]bool, cols*rows),
 	}
 }
 
@@ -65,6 +76,7 @@ func (g *Grid) cellIndex(p Point) int {
 func (g *Grid) Rebuild(pos []Point) {
 	for _, ci := range g.occupied {
 		g.cells[ci] = g.cells[ci][:0]
+		g.inOcc[ci] = false
 	}
 	g.occupied = g.occupied[:0]
 	if len(g.pos) < len(pos) {
@@ -74,12 +86,96 @@ func (g *Grid) Rebuild(pos []Point) {
 	copy(g.pos, pos)
 	for id, p := range pos {
 		ci := g.cellIndex(p)
-		if len(g.cells[ci]) == 0 {
+		if !g.inOcc[ci] {
+			g.inOcc[ci] = true
 			g.occupied = append(g.occupied, ci)
 		}
-		g.cells[ci] = append(g.cells[ci], int32(id))
+		g.cells[ci] = append(g.cells[ci], CellEntry{X: p.X, Y: p.Y, ID: int32(id)})
 	}
 }
+
+// Pos returns the position currently stored for item id — the position as
+// of the last Rebuild or Update for that item.
+func (g *Grid) Pos(id int32) Point { return g.pos[id] }
+
+// Update moves item id to p, relocating it between cell buckets only when
+// its cell actually changed — the incremental alternative to a full
+// Rebuild when most items are stationary. Bucket order is not preserved
+// (swap-remove), so callers that need ordered results must sort; the
+// simulator canonicalizes adjacency to sorted NodeID order regardless of
+// bucket order, so query order never reaches observable state.
+func (g *Grid) Update(id int32, p Point) {
+	old := g.pos[id]
+	g.pos[id] = p
+	oc := g.cellIndex(old)
+	nc := g.cellIndex(p)
+	e := CellEntry{X: p.X, Y: p.Y, ID: id}
+	if oc == nc {
+		bucket := g.cells[oc]
+		for i := range bucket {
+			if bucket[i].ID == id {
+				bucket[i] = e
+				break
+			}
+		}
+		return
+	}
+	bucket := g.cells[oc]
+	for i := range bucket {
+		if bucket[i].ID == id {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			g.cells[oc] = bucket[:last]
+			break
+		}
+	}
+	if !g.inOcc[nc] {
+		g.inOcc[nc] = true
+		g.occupied = append(g.occupied, nc)
+	}
+	g.cells[nc] = append(g.cells[nc], e)
+}
+
+// BoxCellRange returns the inclusive cell-coordinate rectangle covering
+// the axis-aligned box [lo, hi], clamped to the arena. Together with Cols
+// and CellBucket it lets hot loops iterate raw cell buckets without
+// copying candidates into an intermediate slice — the candidate query of
+// the incremental topology engine, where one box covers a mover's old and
+// new interaction discs. Flat cell indices are cy*Cols()+cx.
+func (g *Grid) BoxCellRange(lo, hi Point) (minCX, maxCX, minCY, maxCY int) {
+	minCX = int((lo.X - g.arena.MinX) / g.cell)
+	maxCX = int((hi.X - g.arena.MinX) / g.cell)
+	minCY = int((lo.Y - g.arena.MinY) / g.cell)
+	maxCY = int((hi.Y - g.arena.MinY) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	return minCX, maxCX, minCY, maxCY
+}
+
+// Cols returns the number of cell columns (the flat-index row stride).
+func (g *Grid) Cols() int { return g.cols }
+
+// CellSize returns the side length of one grid cell.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Origin returns the arena corner cell (0,0) is anchored at, so callers
+// of BoxCellRange can recover each cell's rectangle for distance pruning.
+func (g *Grid) Origin() Point { return Point{X: g.arena.MinX, Y: g.arena.MinY} }
+
+// CellBucket returns the items stored in the flat cell index ci, with
+// their embedded positions. The returned slice is grid-owned and valid
+// until the next Update or Rebuild; callers must not modify or retain it.
+func (g *Grid) CellBucket(ci int) []CellEntry { return g.cells[ci] }
 
 // Within appends to dst the IDs of all items whose distance to p is at most
 // r, excluding the item with ID exclude (pass a negative value to exclude
@@ -109,12 +205,13 @@ func (g *Grid) Within(p Point, r float64, exclude int, dst []int32) []int32 {
 	for cy := minCY; cy <= maxCY; cy++ {
 		base := cy * g.cols
 		for cx := minCX; cx <= maxCX; cx++ {
-			for _, id := range g.cells[base+cx] {
-				if int(id) == exclude {
+			for _, e := range g.cells[base+cx] {
+				if int(e.ID) == exclude {
 					continue
 				}
-				if g.pos[id].Dist2(p) <= r2 {
-					dst = append(dst, id)
+				dx, dy := e.X-p.X, e.Y-p.Y
+				if dx*dx+dy*dy <= r2 {
+					dst = append(dst, e.ID)
 				}
 			}
 		}

@@ -65,6 +65,45 @@ func (g *Directed) SetOut(u NodeID, neighbors []NodeID) {
 	g.inOK = false
 }
 
+// InsertEdgeSorted inserts the edge u→v into u's sorted out-list, keeping
+// it sorted — the incremental counterpart of SetOut, so a surgically
+// updated graph stays in the same canonical ascending order as a full
+// rebuild. It requires u's out-list to already be sorted (SetOut and
+// previous surgeries guarantee that) and returns false if the edge was
+// already present. Growing past a CSR-aliased list's capacity reallocates
+// it into node-owned storage, after which inserts reuse that storage.
+func (g *Directed) InsertEdgeSorted(u, v NodeID) bool {
+	adj := g.out[u]
+	i := lowerBound(adj, v)
+	if i < len(adj) && adj[i] == v {
+		return false
+	}
+	adj = append(adj, 0)
+	copy(adj[i+1:], adj[i:])
+	adj[i] = v
+	g.out[u] = adj
+	g.m++
+	g.inOK = false
+	return true
+}
+
+// RemoveEdgeSorted removes the edge u→v from u's sorted out-list, keeping
+// it sorted, and returns whether the edge existed. Removal shifts within
+// u's own storage, so CSR-aliased lists stay confined to their disjoint
+// ranges of the flat edge array.
+func (g *Directed) RemoveEdgeSorted(u, v NodeID) bool {
+	adj := g.out[u]
+	i := lowerBound(adj, v)
+	if i == len(adj) || adj[i] != v {
+		return false
+	}
+	copy(adj[i:], adj[i+1:])
+	g.out[u] = adj[:len(adj)-1]
+	g.m--
+	g.inOK = false
+	return true
+}
+
 // N returns the number of nodes.
 func (g *Directed) N() int { return len(g.out) }
 
@@ -96,6 +135,32 @@ func (g *Directed) HasEdge(u, v NodeID) bool {
 		}
 	}
 	return false
+}
+
+// HasEdgeSorted reports whether the edge u→v exists by binary search,
+// assuming u's out-list is sorted ascending — true for SetOut-built and
+// surgically maintained graphs (every World topology, on either stepping
+// path), but NOT for graphs grown with bare AddEdge.
+func (g *Directed) HasEdgeSorted(u, v NodeID) bool {
+	adj := g.out[u]
+	i := lowerBound(adj, v)
+	return i < len(adj) && adj[i] == v
+}
+
+// lowerBound returns the first index in the sorted list adj whose value is
+// >= v. A monomorphic loop beats the generic slices.BinarySearch on the
+// short adjacency lists the topology surgery operates on.
+func lowerBound(adj []NodeID, v NodeID) int {
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Out returns the out-neighbours of u. The returned slice is owned by the
@@ -163,11 +228,20 @@ func (g *Directed) In(v NodeID) []NodeID {
 	return g.inEdges[g.inOff[v]:g.inOff[v+1]]
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy packs all adjacency into one
+// flat edge array (CSR style), so cloning costs two allocations however
+// many nodes the graph has; the clone remains fully mutable (appending
+// past a node's capacity migrates that list to its own storage).
 func (g *Directed) Clone() *Directed {
 	c := New(g.N())
+	c.edges = make([]NodeID, 0, g.m)
 	for u, adj := range g.out {
-		c.out[u] = append([]NodeID(nil), adj...)
+		if len(adj) == 0 {
+			continue
+		}
+		start := len(c.edges)
+		c.edges = append(c.edges, adj...)
+		c.out[u] = c.edges[start:len(c.edges):len(c.edges)]
 	}
 	c.m = g.m
 	return c

@@ -4,7 +4,11 @@
 // last gateway it saw.
 package knowledge
 
-import "repro/internal/graph"
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
 
 // NodeID aliases graph.NodeID.
 type NodeID = graph.NodeID
@@ -25,18 +29,56 @@ const (
 // the full out-neighbour list once learned, tagged first- or second-hand.
 // The paper's "knowledge" metric counts learned nodes; "perfect knowledge"
 // means every node's neighbour list is known.
+//
+// Alongside the per-node source tags, a known-set bitmask (one bit per
+// node) mirrors "source != Unknown". Learning only ever sets bits, so
+// set-difference questions — which records does a peer hold that I lack? —
+// collapse to word-parallel scans over the masks, 64 nodes per AND-NOT.
 type Topology struct {
 	source []Source
+	mask   []uint64 // bit u set ⇔ source[u] != Unknown
 	adj    [][]NodeID
 	known  int
 }
+
+// maskWords returns the number of 64-bit words covering n nodes.
+func maskWords(n int) int { return (n + 63) / 64 }
 
 // NewTopology returns empty knowledge over an n-node network.
 func NewTopology(n int) *Topology {
 	return &Topology{
 		source: make([]Source, n),
+		mask:   make([]uint64, maskWords(n)),
 		adj:    make([][]NodeID, n),
 	}
+}
+
+// Reset returns t to empty knowledge over an n-node network, reusing all
+// of its storage (per-node neighbour lists keep their capacity). A reset
+// topology behaves exactly like a fresh one, so pooled per-run agent state
+// can recycle it without allocating.
+func (t *Topology) Reset(n int) {
+	if cap(t.source) < n {
+		t.source = make([]Source, n)
+	}
+	t.source = t.source[:n]
+	clear(t.source)
+	words := maskWords(n)
+	if cap(t.mask) < words {
+		t.mask = make([]uint64, words)
+	}
+	t.mask = t.mask[:words]
+	clear(t.mask)
+	if cap(t.adj) < n {
+		t.adj = make([][]NodeID, n)
+	}
+	t.adj = t.adj[:n]
+	for u := range t.adj {
+		if t.adj[u] != nil {
+			t.adj[u] = t.adj[u][:0]
+		}
+	}
+	t.known = 0
 }
 
 // N returns the network size this knowledge covers.
@@ -62,12 +104,19 @@ func (t *Topology) SourceOf(u NodeID) Source { return t.source[u] }
 // Knows reports whether node u's neighbourhood is known at all.
 func (t *Topology) Knows(u NodeID) bool { return t.source[u] != Unknown }
 
+// KnownMask returns the known-set bitmask: bit u of word u/64 is set iff
+// node u is known. The slice is owned by t and mutates as t learns;
+// callers must not modify it. Meeting exchanges snapshot it to find the
+// records a peer can contribute with word-parallel AND-NOT scans.
+func (t *Topology) KnownMask() []uint64 { return t.mask }
+
 // LearnFirstHand records node u's out-neighbour list as directly
 // experienced. First-hand knowledge always overwrites second-hand (the
 // network may have changed since the peer learned it).
 func (t *Topology) LearnFirstHand(u NodeID, neighbors []NodeID) {
 	if t.source[u] == Unknown {
 		t.known++
+		t.mask[u>>6] |= 1 << (uint(u) & 63)
 	}
 	t.source[u] = FirstHand
 	t.adj[u] = append(t.adj[u][:0], neighbors...)
@@ -81,6 +130,7 @@ func (t *Topology) LearnSecondHand(u NodeID, neighbors []NodeID) {
 	}
 	if t.source[u] == Unknown {
 		t.known++
+		t.mask[u>>6] |= 1 << (uint(u) & 63)
 	}
 	t.source[u] = SecondHand
 	t.adj[u] = append(t.adj[u][:0], neighbors...)
@@ -88,44 +138,72 @@ func (t *Topology) LearnSecondHand(u NodeID, neighbors []NodeID) {
 
 // MergeFrom copies everything other knows that t does not, as second-hand
 // knowledge. It returns the number of node records transferred, which the
-// overhead accounting uses as the message size of the exchange.
+// overhead accounting uses as the message size of the exchange. The
+// transferable set comes from a word-parallel scan of the known masks
+// (other &^ t), so a merge with nothing to move costs O(n/64) instead of
+// O(n), and records are visited in ascending node order exactly as the
+// per-node scan did.
 func (t *Topology) MergeFrom(other *Topology) int {
 	moved := 0
-	for u := range other.source {
-		if other.source[u] == Unknown || t.source[u] != Unknown {
-			continue
+	for wi, ow := range other.mask {
+		missing := ow &^ t.mask[wi]
+		for missing != 0 {
+			u := NodeID(wi<<6 + bits.TrailingZeros64(missing))
+			missing &= missing - 1
+			t.LearnSecondHand(u, other.adj[u])
+			moved++
 		}
-		t.LearnSecondHand(NodeID(u), other.adj[u])
-		moved++
 	}
 	return moved
 }
 
-// Neighbors returns the known out-neighbour list for u (nil if unknown).
-// Callers must not modify the returned slice.
+// Neighbors returns the known out-neighbour list for u (nil or empty if
+// unknown). Callers must not modify the returned slice.
 func (t *Topology) Neighbors(u NodeID) []NodeID { return t.adj[u] }
 
 // Reconstruct builds the directed graph this agent believes in. Unknown
 // nodes contribute no edges.
 func (t *Topology) Reconstruct() *graph.Directed {
-	g := graph.New(len(t.source))
+	return t.ReconstructInto(graph.New(len(t.source)))
+}
+
+// ReconstructInto rebuilds the believed graph into g, reusing its storage
+// (graph.Reset + SetOut), and returns g. A caller that reconstructs every
+// measurement step can hold one scratch graph and pay zero steady-state
+// allocations. Adjacency comes out in canonical sorted order.
+func (t *Topology) ReconstructInto(g *graph.Directed) *graph.Directed {
+	g.Reset(len(t.source))
 	for u := range t.adj {
-		for _, v := range t.adj[u] {
-			g.AddEdge(NodeID(u), v)
+		if len(t.adj[u]) > 0 {
+			g.SetOut(NodeID(u), t.adj[u])
 		}
 	}
 	return g
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. All neighbour lists are packed into one flat
+// backing array, so a clone costs five allocations however many nodes are
+// known; the clone remains fully mutable (learning a longer list than a
+// node's packed capacity migrates that list to its own storage).
 func (t *Topology) Clone() *Topology {
-	c := NewTopology(len(t.source))
-	copy(c.source, t.source)
-	for u := range t.adj {
-		if t.adj[u] != nil {
-			c.adj[u] = append([]NodeID(nil), t.adj[u]...)
-		}
+	c := &Topology{
+		source: append([]Source(nil), t.source...),
+		mask:   append([]uint64(nil), t.mask...),
+		adj:    make([][]NodeID, len(t.adj)),
+		known:  t.known,
 	}
-	c.known = t.known
+	total := 0
+	for u := range t.adj {
+		total += len(t.adj[u])
+	}
+	flat := make([]NodeID, 0, total)
+	for u := range t.adj {
+		if t.adj[u] == nil {
+			continue
+		}
+		start := len(flat)
+		flat = append(flat, t.adj[u]...)
+		c.adj[u] = flat[start:len(flat):len(flat)]
+	}
 	return c
 }

@@ -11,6 +11,8 @@
 package mobility
 
 import (
+	"math"
+
 	"repro/internal/geom"
 	"repro/internal/rng"
 )
@@ -60,8 +62,12 @@ func NewRandomVelocity(arena geom.Rect, minSpeed, maxSpeed float64, s *rng.Strea
 
 // Waypoint implements the classic random-waypoint model: pick a uniform
 // destination and speed, travel there in a straight line, pause, repeat.
+// A positive hop radius restricts each destination to a box around the
+// current position (local roaming), which keeps travel legs short so the
+// fleet alternates between moving and dwelling like the paper's scenarios.
 type Waypoint struct {
 	arena              geom.Rect
+	hop                float64 // 0 = arena-wide destinations
 	minSpeed, maxSpeed float64
 	pauseSteps         int
 	s                  *rng.Stream
@@ -84,10 +90,30 @@ func NewWaypoint(arena geom.Rect, minSpeed, maxSpeed float64, pauseSteps int, s 
 	}
 }
 
-func (m *Waypoint) pickDest() {
+// NewLocalWaypoint returns a random-waypoint Mover whose destinations stay
+// within hop of the current position (clamped to the arena): nodes roam a
+// neighbourhood instead of crossing the whole field between pauses.
+func NewLocalWaypoint(arena geom.Rect, hop, minSpeed, maxSpeed float64, pauseSteps int, s *rng.Stream) *Waypoint {
+	return &Waypoint{
+		arena:      arena,
+		hop:        hop,
+		minSpeed:   minSpeed,
+		maxSpeed:   maxSpeed,
+		pauseSteps: pauseSteps,
+		s:          s,
+	}
+}
+
+func (m *Waypoint) pickDest(p geom.Point) {
+	loX, hiX := m.arena.MinX, m.arena.MaxX
+	loY, hiY := m.arena.MinY, m.arena.MaxY
+	if m.hop > 0 {
+		loX, hiX = math.Max(loX, p.X-m.hop), math.Min(hiX, p.X+m.hop)
+		loY, hiY = math.Max(loY, p.Y-m.hop), math.Min(hiY, p.Y+m.hop)
+	}
 	m.dest = geom.Point{
-		X: m.s.Range(m.arena.MinX, m.arena.MaxX),
-		Y: m.s.Range(m.arena.MinY, m.arena.MaxY),
+		X: m.s.Range(loX, hiX),
+		Y: m.s.Range(loY, hiY),
 	}
 	m.speed = m.s.Range(m.minSpeed, m.maxSpeed)
 	m.started = true
@@ -100,7 +126,7 @@ func (m *Waypoint) Step(p geom.Point) geom.Point {
 		return p
 	}
 	if !m.started {
-		m.pickDest()
+		m.pickDest(p)
 	}
 	to := m.dest.Sub(p)
 	d := to.Len()

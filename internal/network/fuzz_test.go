@@ -2,6 +2,64 @@ package network
 
 import "testing"
 
+// FuzzIncrementalTopology drives a mixed mobility/decay tape: each tape
+// byte configures one node (mover kind, whether its battery decays, decay
+// speed, floor), and the trailing bytes pick the seed spread and step
+// count. For every tape the incrementally maintained topology must stay
+// bit-identical to a full rebuild after every single step, and both must
+// match an O(n²) brute-force referee at the end.
+func FuzzIncrementalTopology(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7, 30})
+	f.Add(uint64(42), []byte{255, 0, 255, 0, 128, 64, 200})
+	f.Add(uint64(9), []byte{7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, seed uint64, tape []byte) {
+		if len(tape) < 2 {
+			t.Skip()
+		}
+		steps := 5 + int(tape[len(tape)-1]%45)
+		body := tape[:len(tape)-1]
+		n := len(body)
+		if n > 48 {
+			n = 48
+		}
+		plans := make([]nodePlan, n)
+		for i := range plans {
+			b := body[i]
+			plans[i] = nodePlan{mover: b % 4}
+			if b&4 != 0 {
+				plans[i].decay = 0.001 + float64(b>>4)*0.002 // up to 0.031/step
+				plans[i].floor = float64(b>>6) * 0.25        // 0, .25, .5, .75
+			}
+		}
+		p := planParams{
+			arena: 40, minR: 3, maxR: 12,
+			minSpeed: 0.2, maxSpeed: 1 + float64(tape[0]%8), // up to speeds past the cell size
+			pause: int(tape[0] % 5),
+		}
+		inc := buildPlannedWorld(t, plans, p, seed)
+		full := buildPlannedWorld(t, plans, p, seed)
+		full.SetFullRebuild(true)
+		if !inc.Dynamic() {
+			// All-static, never-decaying tape: topology is frozen at
+			// construction; one comparison against the referee suffices.
+			if diff, ok := sameTopology(inc.Topology(), bruteForceTopology(inc)); !ok {
+				t.Fatalf("static world vs brute force: %s", diff)
+			}
+			return
+		}
+		for step := 0; step < steps; step++ {
+			inc.Step()
+			full.Step()
+			if diff, ok := sameTopology(inc.Topology(), full.Topology()); !ok {
+				t.Fatalf("step %d: incremental vs full rebuild: %s", step+1, diff)
+			}
+		}
+		if diff, ok := sameTopology(inc.Topology(), bruteForceTopology(inc)); !ok {
+			t.Fatalf("final step: incremental vs brute force: %s", diff)
+		}
+	})
+}
+
 // FuzzTableUpdate drives a routing table with an arbitrary update tape
 // and checks the capacity bound plus freshest-wins semantics.
 func FuzzTableUpdate(f *testing.F) {

@@ -1,0 +1,453 @@
+package network
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+)
+
+// This file implements the incremental topology engine: instead of
+// rebuilding the whole directed link graph every step, the World mutates
+// the previous step's graph in place, touching only the links that can
+// have changed. Per-step link change in the paper's MANET scenarios is
+// sparse churn — half the nodes are stationary, waypoint movers dwell at
+// their destinations, and battery decay only ever shrinks ranges — so
+// maintenance cost is proportional to the nodes that actually moved this
+// step plus the links that actually churned, not to the whole graph.
+//
+// Edges fall into classes, each covered by exactly one mechanism:
+//
+//  1. static source → static target, source non-decaying: distance and
+//     range are both constant, so the edge never changes — never touched.
+//  2. static decaying source → static target: distance is constant and
+//     Range() shrinks monotonically, so the edge can only disappear, once,
+//     when the range crosses the fixed distance. Per source a list of
+//     static targets sorted by descending distance plus a cursor turns
+//     all such removals into an amortized O(removed)-per-step scan.
+//  3. any pair with an endpoint that MOVED this step: re-derived from the
+//     moved endpoint's candidate box scan (below), which checks both
+//     directions of every candidate pair.
+//  4. static decaying source → mobility-capable target that did NOT move
+//     this step: distance is momentarily constant and the source's range
+//     only shrinks, so — exactly as in class 2 — the edge can only
+//     disappear. Each mobile node keeps the list of decaying static
+//     sources currently linking to it (with the squared distance); while
+//     it dwells, a per-step compare against the source's shrunk range
+//     drops expired entries. The list is rebuilt from the box scan on
+//     every step the node moves, so stored distances are always current.
+//  5. mobility-capable DECAYING source that did not move this step →
+//     anything: its own range shrank, so its out-edges can only
+//     disappear; a walk over its current out-list removes targets that
+//     fell out of range. Targets that moved this step were already
+//     settled by their own box scan (class 3) with the same predicate, so
+//     the two mechanisms always agree.
+//
+// Nodes are classified as mobility-capable by mover *type* (anything but
+// mobility.Static), but only the ones whose position actually changed this
+// step pay for a box scan: a Waypoint mover dwelling at its destination
+// costs one position compare plus the class-4/5 cursor-style checks.
+//
+// Candidate coverage: let maxDisp be the largest displacement of any node
+// this step, and reach = maxRange + maxDisp (plus a small float-safety
+// slack). For a moved node v, any node w whose pair (v,w) had a link
+// before this step or wants one after it lies — at its current, post-move
+// position — within ONE disc, disc(v_old, reach): a link existed ⇒
+// dist(v_old, w_old) ≤ maxRange and w moved ≤ maxDisp, so
+// dist(v_old, w_new) ≤ reach; a link is wanted now ⇒
+// dist(v_new, w_new) ≤ maxRange, and v itself moved ≤ maxDisp, so again
+// dist(v_old, w_new) ≤ reach. The grid box covering that disc therefore
+// contains every relevant w, and a single squared distance per candidate
+// is the whole reject test. For each survivor, membership before (from
+// snapshotted positions and ranges) and after the step is recomputed with
+// the same float expressions as the full rebuild, and the sorted out-lists
+// are surgically edited only when the two differ — so the maintained graph
+// is bit-identical to a full rebuild, which the equivalence and fuzz tests
+// in this package pin. (The coverage argument assumes positions stay
+// inside the arena, which Rect.Bounce and the generators guarantee; the
+// grid clamps outside positions into border cells, where a box query could
+// miss them.)
+
+// rangeR2 caches one node's squared range before and after the current
+// decay phase, in the sqOrNeg encoding. Candidate positions come straight
+// from the grid's cell buckets (geom.CellEntry embeds them), so this
+// 16-byte record is the only random access a surviving candidate costs.
+type rangeR2 struct {
+	prev float64
+	cur  float64
+}
+
+// incrState is the per-world state of the incremental topology engine.
+type incrState struct {
+	mobile   []int32 // mobility-capable node ids, ascending
+	isMobile []bool  // node id -> mover is not mobility.Static
+	decays   []bool  // node id -> radio battery decays
+	moved    []bool  // node id -> position changed this step
+
+	// prevPos[id] is the pre-step position — written (and later read)
+	// only for nodes that moved this step; everything else is at its
+	// bucket-embedded position on both sides of the step.
+	prevPos      []geom.Point
+	r2           []rangeR2
+	rangeChanged []bool  // node id -> range shrank this step
+	decayIds     []int32 // all decaying node ids (r2 refresh set)
+
+	decaySrcs []int32 // static decaying sources (classes 2 and 4)
+	decay     []decayCursor
+	inDecay   [][]inSrc // mobile node id -> decaying static in-sources
+	outBuf    []int32   // class-5 out-walk scratch
+
+	// stale marks the r2 cache and inDecay lists invalid: full-rebuild
+	// steps move nodes, drain batteries, and rewrite the topology without
+	// maintaining them, so the first incremental step after a mode toggle
+	// resynchronizes from the world (decay cursors tolerate staleness on
+	// their own).
+	stale bool
+}
+
+// decayCursor tracks class-2 edges (static decaying source → static
+// target): dst holds the source's static in-range targets by descending
+// distance, and cursor advances — removing edges — as Range() shrinks
+// below each stored distance. Ranges never grow, so the cursor never
+// rewinds and every class-2 edge is removed exactly once.
+type decayCursor struct {
+	src    NodeID
+	dst    []NodeID  // static targets, descending distance order
+	d2     []float64 // squared distance to dst[i]
+	cursor int
+}
+
+// inSrc is one class-4 entry: a decaying static source currently linking
+// to a mobile node, with the squared distance between them. While the
+// mobile node dwells the distance is constant, so the edge expires exactly
+// when the source's squared range drops below d2.
+type inSrc struct {
+	src NodeID
+	d2  float64
+}
+
+// sqOrNeg maps a range to its squared value, or -1 for ranges <= 0, so a
+// single "dist2 <= sqOrNeg(r)" compare reproduces the rebuild membership
+// predicate "r > 0 && dist2 <= r*r" bit for bit (dist2 >= 0 > -1).
+func sqOrNeg(r float64) float64 {
+	if r > 0 {
+		return r * r
+	}
+	return -1
+}
+
+// initIncremental builds the engine state for a freshly constructed
+// dynamic world: mover classification, the squared-range cache, the
+// class-2 decay cursors, and the class-4 in-source lists. Called after the
+// initial rebuildTopology, so the grid and topology are populated.
+func (w *World) initIncremental(movers []mobility.Mover) {
+	n := w.N()
+	t := &incrState{
+		isMobile:     make([]bool, n),
+		decays:       make([]bool, n),
+		moved:        make([]bool, n),
+		prevPos:      make([]geom.Point, n),
+		r2:           make([]rangeR2, n),
+		rangeChanged: make([]bool, n),
+		inDecay:      make([][]inSrc, n),
+	}
+	for i, m := range movers {
+		if _, static := m.(mobility.Static); !static {
+			t.isMobile[i] = true
+			t.mobile = append(t.mobile, int32(i))
+		}
+	}
+	for u := 0; u < n; u++ {
+		t.decays[u] = w.radios[u].Decays()
+		r2 := sqOrNeg(w.radios[u].Range())
+		t.r2[u] = rangeR2{prev: r2, cur: r2}
+		if t.decays[u] {
+			t.decayIds = append(t.decayIds, int32(u))
+		}
+		if t.isMobile[u] || !t.decays[u] {
+			continue
+		}
+		t.decaySrcs = append(t.decaySrcs, int32(u))
+		r := w.radios[u].Range()
+		if r <= 0 {
+			continue
+		}
+		dc := decayCursor{src: NodeID(u)}
+		w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
+		for _, v := range w.nbrBuf {
+			if t.isMobile[v] {
+				continue
+			}
+			dc.dst = append(dc.dst, v)
+			dc.d2 = append(dc.d2, w.pos[u].Dist2(w.pos[v]))
+		}
+		if len(dc.dst) == 0 {
+			continue
+		}
+		// Descending distance with an id tie-break keeps the removal tape
+		// deterministic; equal-distance targets drop in the same step
+		// anyway, so the tie-break never reaches observable state.
+		slices.SortFunc(dc.dst, func(a, b NodeID) int {
+			da, db := w.pos[u].Dist2(w.pos[a]), w.pos[u].Dist2(w.pos[b])
+			switch {
+			case da > db:
+				return -1
+			case da < db:
+				return 1
+			default:
+				return int(a - b)
+			}
+		})
+		for i, v := range dc.dst {
+			dc.d2[i] = w.pos[u].Dist2(w.pos[v])
+		}
+		t.decay = append(t.decay, dc)
+	}
+	w.incr = t
+	w.rebuildInLists()
+}
+
+// rebuildInLists derives the class-4 in-source lists from the current
+// topology and positions: for every decaying static source, each of its
+// current mobile out-neighbours records the source and the (current)
+// squared distance. Runs at init and after full-rebuild interludes.
+func (w *World) rebuildInLists() {
+	t := w.incr
+	for _, vi := range t.mobile {
+		t.inDecay[vi] = t.inDecay[vi][:0]
+	}
+	for _, ui := range t.decaySrcs {
+		pu := w.pos[ui]
+		for _, tv := range w.topo.Out(NodeID(ui)) {
+			if t.isMobile[tv] {
+				t.inDecay[tv] = append(t.inDecay[tv], inSrc{src: NodeID(ui), d2: pu.Dist2(w.pos[tv])})
+			}
+		}
+	}
+}
+
+// resyncAfterFullRebuild refreshes the squared-range cache (batteries
+// drained while full-rebuild steps ran; the grid was rebuilt by those
+// steps already) and the class-4 lists.
+func (w *World) resyncAfterFullRebuild() {
+	t := w.incr
+	for _, id := range t.decayIds {
+		t.r2[id].cur = sqOrNeg(w.radios[id].Range())
+	}
+	w.rebuildInLists()
+}
+
+// stepIncremental is the churn-proportional Step body: move and re-bucket
+// the nodes that actually moved, drain batteries, then repair the link
+// graph in place.
+func (w *World) stepIncremental() {
+	t := w.incr
+	if t.stale {
+		w.resyncAfterFullRebuild()
+		t.stale = false
+	}
+	sp := w.m.mobility.Start()
+	w.fleet.Step(w.pos)
+	maxDisp2 := 0.0
+	for _, id := range t.mobile {
+		// The grid stores each node's position as of its last Update, i.e.
+		// the pre-step position — the movement detector and the snapshot
+		// for this step's "had" predicates in one place.
+		old := w.grid.Pos(id)
+		if w.pos[id] == old {
+			t.moved[id] = false
+			continue
+		}
+		t.moved[id] = true
+		t.prevPos[id] = old
+		if d2 := old.Dist2(w.pos[id]); d2 > maxDisp2 {
+			maxDisp2 = d2
+		}
+		w.grid.Update(id, w.pos[id])
+	}
+	sp.Stop()
+	sp = w.m.decay.Start()
+	for _, id := range t.decayIds {
+		t.r2[id].prev = t.r2[id].cur
+		w.radios[id].Step()
+		c2 := sqOrNeg(w.radios[id].Range())
+		t.r2[id].cur = c2
+		// sqOrNeg is injective on the non-negative ranges radios produce,
+		// so comparing encodings detects exactly the real range changes.
+		t.rangeChanged[id] = c2 != t.r2[id].prev
+	}
+	sp.Stop()
+	sp = w.m.rebuild.Start()
+	added, removed := w.applyChurn(math.Sqrt(maxDisp2))
+	sp.Stop()
+	w.m.linksAdded.Add(added)
+	w.m.linksRemoved.Add(removed)
+	w.m.edges.Set(float64(w.topo.M()))
+}
+
+// applyChurn repairs the topology after movers re-bucketed and batteries
+// drained, returning the directed link churn (for the world's metrics —
+// the same counts the full-rebuild path derives by diffing topologies).
+func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
+	t := w.incr
+	g := w.topo
+	maxR2 := w.maxRange * w.maxRange
+	// Every candidate relevant to a moved node v lies within
+	// maxRange+maxDisp of v's OLD position (see the coverage argument in
+	// the file comment), so one disc — one distance per candidate — is the
+	// whole reject test. The small absolute slack keeps the triangle-
+	// inequality containment valid under float rounding; it admits a
+	// vanishing sliver of extra candidates and can never exclude a real one.
+	reach := w.maxRange + maxDisp + 1e-6
+	reach2 := reach * reach
+	cols := w.grid.Cols()
+	moved, prevPos, r2 := t.moved, t.prevPos, t.r2
+	// Class 3: box scan per moved node, both directions per candidate
+	// pair. The box covers disc(pOld, maxRange+maxDisp) ∪ disc(pNew,
+	// maxRange). Candidate positions are read sequentially out of the
+	// bucket entries; a pair farther than maxRange both before and after
+	// the step cannot have churned (and cannot hold a class-4 entry), so
+	// it is rejected on bucket data alone — only survivors chase the
+	// per-node range cache.
+	for _, vi := range t.mobile {
+		if !t.moved[vi] {
+			continue
+		}
+		v := NodeID(vi)
+		pOld, pNew := t.prevPos[vi], w.pos[vi]
+		pr2v, cr2v := t.r2[vi].prev, t.r2[vi].cur
+		lo := geom.Point{X: pOld.X - reach, Y: pOld.Y - reach}
+		hi := geom.Point{X: pOld.X + reach, Y: pOld.Y + reach}
+		x0, x1, y0, y1 := w.grid.BoxCellRange(lo, hi)
+		ins := t.inDecay[vi][:0]
+		for cy := y0; cy <= y1; cy++ {
+			base := cy * cols
+			for cx := x0; cx <= x1; cx++ {
+				bucket := w.grid.CellBucket(base + cx)
+				for bi := range bucket {
+					e := &bucket[bi]
+					// dOldS measures pOld against w's *current* position.
+					// Candidates beyond reach cannot have had a link, cannot
+					// want one (disc(pNew, maxRange) ⊆ disc(pOld, reach)),
+					// and cannot hold a class-4 entry — so the vast majority
+					// reject on one distance over sequential bucket data,
+					// before any random load.
+					ddx, ddy := pOld.X-e.X, pOld.Y-e.Y
+					dOldS := ddx*ddx + ddy*ddy
+					if dOldS > reach2 {
+						continue
+					}
+					dx, dy := pNew.X-e.X, pNew.Y-e.Y
+					dNew := dx*dx + dy*dy
+					wi := e.ID
+					if wi == vi {
+						continue
+					}
+					// The bucket holds w's current position; its pre-step
+					// position differs only if w moved this step. A pair of
+					// moved nodes appears in both box scans; the lower id's
+					// scan (which runs first — mobile is ascending) handles
+					// it once, both directions.
+					dOld := dOldS
+					if moved[wi] {
+						if wi < vi {
+							continue
+						}
+						pp := prevPos[wi]
+						ddx, ddy = pOld.X-pp.X, pOld.Y-pp.Y
+						dOld = ddx*ddx + ddy*ddy
+					}
+					if dOld > maxR2 && dNew > maxR2 {
+						continue
+					}
+					// v→w, then w→v: same membership predicate as the
+					// rebuild path, evaluated on the pre-step snapshot for
+					// "had" and the current state for "want".
+					if (dNew <= cr2v) != (dOld <= pr2v) {
+						if dNew <= cr2v {
+							g.InsertEdgeSorted(v, wi)
+							added++
+						} else {
+							g.RemoveEdgeSorted(v, wi)
+							removed++
+						}
+					}
+					rw := r2[wi]
+					wantIn := dNew <= rw.cur
+					if wantIn != (dOld <= rw.prev) {
+						if wantIn {
+							g.InsertEdgeSorted(wi, v)
+							added++
+						} else {
+							g.RemoveEdgeSorted(wi, v)
+							removed++
+						}
+					}
+					if wantIn && t.decays[wi] && !t.isMobile[wi] {
+						ins = append(ins, inSrc{src: NodeID(wi), d2: dNew})
+					}
+				}
+			}
+		}
+		t.inDecay[vi] = ins
+	}
+	// Classes 4 and 5: mobile nodes that did not move this step. Their
+	// stored distances are current (any move rebuilds the class-4 list
+	// above and settles class-5 pairs), so expiry is a plain compare
+	// against the shrunk squared range.
+	for _, vi := range t.mobile {
+		if t.moved[vi] {
+			continue
+		}
+		if lst := t.inDecay[vi]; len(lst) > 0 {
+			for k := 0; k < len(lst); {
+				if lst[k].d2 <= t.r2[lst[k].src].cur {
+					k++
+					continue
+				}
+				if g.RemoveEdgeSorted(lst[k].src, NodeID(vi)) {
+					removed++
+				}
+				lst[k] = lst[len(lst)-1]
+				lst = lst[:len(lst)-1]
+			}
+			t.inDecay[vi] = lst
+		}
+		if !t.rangeChanged[vi] {
+			continue
+		}
+		// Class 5: own range shrank while dwelling — out-edges can only
+		// expire. Collect first: removal shifts the out-list in place.
+		cr2 := t.r2[vi].cur
+		pv := w.pos[vi]
+		t.outBuf = t.outBuf[:0]
+		for _, tv := range g.Out(NodeID(vi)) {
+			if pv.Dist2(w.pos[tv]) > cr2 {
+				t.outBuf = append(t.outBuf, tv)
+			}
+		}
+		for _, tv := range t.outBuf {
+			if g.RemoveEdgeSorted(NodeID(vi), tv) {
+				removed++
+			}
+		}
+	}
+	// Class-2 removals: each decaying static source's cursor advances
+	// while its shrinking range excludes the next-farthest static target.
+	// RemoveEdgeSorted reports whether the edge still existed, which keeps
+	// the churn counters exact even if full-rebuild steps (mode toggles)
+	// already dropped some cursor edges.
+	for i := range t.decay {
+		dc := &t.decay[i]
+		r := w.radios[dc.src].Range()
+		r2 := r * r
+		for dc.cursor < len(dc.d2) && (r <= 0 || dc.d2[dc.cursor] > r2) {
+			if g.RemoveEdgeSorted(dc.src, dc.dst[dc.cursor]) {
+				removed++
+			}
+			dc.cursor++
+		}
+	}
+	return added, removed
+}

@@ -40,10 +40,11 @@ type World struct {
 	gateways  []NodeID
 	isGateway []bool
 
-	grid    *geom.Grid
-	topo    *graph.Directed
-	step    int
-	dynamic bool // false ⇒ topology never changes after construction
+	grid     *geom.Grid
+	topo     *graph.Directed
+	step     int
+	dynamic  bool    // false ⇒ topology never changes after construction
+	maxRange float64 // max base radio range; grid cell side and query bound
 
 	// Per-step rebuilds alternate between two graph buffers so the
 	// previous step's topology stays intact for exactly one step (the
@@ -53,6 +54,12 @@ type World struct {
 	topoIdx int
 	reach   graph.ReachScratch
 	nbrBuf  []int32 // scratch for grid queries
+
+	// incr holds the incremental topology engine's per-world state (nil
+	// for static worlds); fullRebuild forces the per-step full recompute
+	// path instead, for equivalence tests and benchmarks.
+	incr        *incrState
+	fullRebuild bool
 
 	m        worldMetrics
 	diffMark []int32 // per-node stamp scratch for the instrumented edge diff
@@ -134,8 +141,12 @@ func NewWorld(cfg Config) (*World, error) {
 	if maxRange <= 0 {
 		return nil, fmt.Errorf("network: all radios have zero range")
 	}
+	w.maxRange = maxRange
 	w.grid = geom.NewGrid(cfg.Arena, n, maxRange)
 	w.rebuildTopology()
+	if w.dynamic {
+		w.initIncremental(cfg.Movers)
+	}
 	return w, nil
 }
 
@@ -176,13 +187,37 @@ func (w *World) Topology() *graph.Directed { return w.topo }
 func (w *World) Neighbors(u NodeID) []NodeID { return w.topo.Out(u) }
 
 // Step advances the world one time step: nodes move, batteries drain, and
-// the topology is recomputed. Static worlds skip the recompute.
+// the topology is updated. Static worlds skip the update entirely; dynamic
+// worlds maintain the link graph incrementally (cost proportional to the
+// nodes that can move plus the links that actually churned) unless
+// SetFullRebuild forced the per-step full recompute. Both paths produce
+// bit-identical topologies — canonical sorted out-lists — pinned by the
+// equivalence and fuzz tests in this package.
 func (w *World) Step() {
 	w.step++
 	w.m.steps.Inc()
 	if !w.dynamic {
 		return
 	}
+	if w.fullRebuild || w.incr == nil {
+		w.stepFullRebuild()
+		return
+	}
+	w.stepIncremental()
+}
+
+// SetFullRebuild selects between the incremental topology engine (the
+// default for dynamic worlds) and the full per-step recompute. The two
+// paths yield identical topologies, so this is a performance knob only —
+// benchmarks and equivalence tests flip it. Safe to toggle at any step
+// boundary: the incremental engine re-derives its per-step state from the
+// world, and its decay cursors tolerate edges already removed by full
+// rebuilds that ran in between.
+func (w *World) SetFullRebuild(on bool) { w.fullRebuild = on }
+
+// stepFullRebuild is the pre-incremental Step body: move, decay, rebuild
+// the whole topology from the grid.
+func (w *World) stepFullRebuild() {
 	sp := w.m.mobility.Start()
 	w.fleet.Step(w.pos)
 	sp.Stop()
@@ -195,6 +230,12 @@ func (w *World) Step() {
 	old := w.topo
 	w.rebuildTopology()
 	sp.Stop()
+	if w.incr != nil {
+		// Positions and topology changed behind the incremental engine's
+		// back; its in-source lists must be rebuilt before the next
+		// incremental step (decay cursors tolerate staleness on their own).
+		w.incr.stale = true
+	}
 	if w.m.linksAdded.Enabled() {
 		w.recordLinkChurn(old, w.topo)
 	}

@@ -201,7 +201,7 @@ func Reaches(w *network.World, ts *Tables, u NodeID, maxWalk int, visited []bool
 		if !ok {
 			return false
 		}
-		if !w.Topology().HasEdge(cur, e.NextHop) {
+		if !w.Topology().HasEdgeSorted(cur, e.NextHop) {
 			return false // link gone
 		}
 		cur = e.NextHop
@@ -253,9 +253,11 @@ func (s *Scratch) ReachSet(w *network.World, ts *Tables) []bool {
 	// Reverse adjacency over live table entries: an edge v←u for every
 	// entry at u whose next hop v is currently a real link. Built in CSR
 	// form with a counting pass so the flat buffer is reused across steps.
+	// World topologies keep canonically sorted out-lists on both stepping
+	// paths, so the liveness probe can binary-search.
 	for u := 0; u < n; u++ {
 		for _, e := range ts.tables[u].Entries() {
-			if topo.HasEdge(NodeID(u), e.NextHop) {
+			if topo.HasEdgeSorted(NodeID(u), e.NextHop) {
 				s.revOff[e.NextHop+1]++
 			}
 		}
@@ -271,7 +273,7 @@ func (s *Scratch) ReachSet(w *network.World, ts *Tables) []bool {
 	copy(s.revCur, s.revOff)
 	for u := 0; u < n; u++ {
 		for _, e := range ts.tables[u].Entries() {
-			if topo.HasEdge(NodeID(u), e.NextHop) {
+			if topo.HasEdgeSorted(NodeID(u), e.NextHop) {
 				s.revDst[s.revCur[e.NextHop]] = NodeID(u)
 				s.revCur[e.NextHop]++
 			}
@@ -333,7 +335,7 @@ func LocalConnectivity(w *network.World, ts *Tables) float64 {
 		}
 		total++
 		for _, e := range ts.tables[u].Entries() {
-			if topo.HasEdge(NodeID(u), e.NextHop) {
+			if topo.HasEdgeSorted(NodeID(u), e.NextHop) {
 				ok++
 				break
 			}

@@ -4,10 +4,16 @@
 # emits both the raw `go test -bench` output (results/bench_parallel.txt)
 # and a machine-readable summary (results/BENCH_parallel.json) with
 # per-benchmark ns/op, allocs/op, and parallel-over-sequential speedup.
+# It then runs the per-step topology maintenance benchmarks (full rebuild
+# vs incremental engine) and emits results/bench_incremental.txt plus
+# results/BENCH_incremental.json with incremental-over-rebuild speedups;
+# that JSON is also copied to the repo root as BENCH_incremental.json.
 # Usage: scripts/bench.sh [benchtime]   (default 5x; `scripts/bench.sh 1x`
-# is the CI smoke run, which skips the sweep timing). Set BENCH_OUT to
-# redirect the artifacts away from results/ (CI smokes into a temp dir so
-# the committed numbers survive).
+# is the CI smoke run, which skips the sweep timing). The world-step
+# benchmarks default to 600 fixed iterations for stable per-step numbers;
+# override with WORLD_BENCHTIME. Set BENCH_OUT to redirect the artifacts
+# away from results/ (CI smokes into a temp dir so the committed numbers
+# survive).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +59,63 @@ END {
   printf "]\n"
 }' "$raw" > "$json"
 echo "wrote $json"
+
+# --- per-step topology maintenance: full rebuild vs incremental engine ---
+# One world step at n nodes, mover fraction 0.5 (local random-waypoint with
+# pause times; a quarter of the fleet on decaying batteries). mode=rebuild
+# is the pre-incremental full per-step recompute, mode=incremental the
+# churn-proportional engine; both produce bit-identical topologies.
+world_benchtime="${WORLD_BENCHTIME:-600x}"
+if [ "$benchtime" = "1x" ]; then
+  world_benchtime="1x"
+fi
+iraw="$out/bench_incremental.txt"
+ijson="$out/BENCH_incremental.json"
+
+{
+  echo "# Per-step topology maintenance — full rebuild vs incremental engine"
+  echo "# host: $(nproc) CPU(s), $(go version | cut -d' ' -f3-)"
+  echo "# benchtime: $world_benchtime"
+  echo "#"
+  echo "# mode=rebuild recomputes every link from the spatial grid each step"
+  echo "# (the pre-incremental behaviour); mode=incremental repairs the"
+  echo "# previous step's graph in place, touching only moved nodes and"
+  echo "# decay-expired links. Equivalence and fuzz tests in internal/network"
+  echo "# pin the two modes bit-identical, so the ratio is pure maintenance"
+  echo "# cost. Acceptance floor: >=3x at n=8000."
+  go test -run '^$' -benchtime "$world_benchtime" -benchmem \
+    -bench 'BenchmarkWorldStep' .
+} | tee "$iraw"
+
+awk '
+/^BenchmarkWorldStep/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (!(name in ns)) order[n++] = name
+  ns[name] = $3
+  allocs[name] = $7
+}
+END {
+  printf "[\n"
+  for (i = 0; i < n; i++) {
+    nm = order[i]
+    base = nm
+    sub(/mode=incremental$/, "mode=rebuild", base)
+    sp = (nm ~ /mode=incremental$/ && ns[nm] + 0 > 0) ? ns[base] / ns[nm] : 1.0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"speedup_vs_rebuild\": %.3f}%s\n", \
+      nm, ns[nm], allocs[nm], sp, (i < n - 1 ? "," : "")
+  }
+  printf "]\n"
+}' "$iraw" > "$ijson"
+# Mirror the JSON at the repo root for dashboard pickup — but only on a
+# real run into results/, so CI smokes (BENCH_OUT=tempdir, 1 iteration)
+# never clobber the committed numbers.
+if [ "$out" = "results" ]; then
+  cp "$ijson" BENCH_incremental.json
+  echo "wrote $ijson (copied to ./BENCH_incremental.json)"
+else
+  echo "wrote $ijson"
+fi
 
 if [ "$benchtime" != "1x" ]; then
   {

@@ -32,6 +32,16 @@ GOMAXPROCS=2 go test -race -run 'ParallelEquivalence|ParallelDeterminism|Paralle
 go test -race -run 'ParallelEquivalence|ParallelDeterminism' \
   . ./internal/routing ./internal/mapping
 
+echo "== incremental-vs-rebuild topology equivalence gate (-race)"
+# The full -race suite above already runs these, but the equivalence of the
+# incremental topology engine against the full per-step rebuild is a
+# correctness cornerstone (bit-identical graphs under mobility, decay, and
+# mode toggles), so it gets an explicit named gate that fails loudly on
+# its own.
+go test -race -count=1 \
+  -run 'IncrementalMatchesFullRebuild|IncrementalModeToggle|IncrementalChurnCounters|WorldStepZeroAllocs' \
+  ./internal/network
+
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
 
@@ -40,6 +50,8 @@ benchout=$(mktemp -d)
 BENCH_OUT="$benchout" scripts/bench.sh 1x >/dev/null
 test -s "$benchout/BENCH_parallel.json"
 grep -q '"speedup_vs_sequential"' "$benchout/BENCH_parallel.json"
+test -s "$benchout/BENCH_incremental.json"
+grep -q '"speedup_vs_rebuild"' "$benchout/BENCH_incremental.json"
 rm -rf "$benchout"
 
 echo "== metrics exposition smoke"
