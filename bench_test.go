@@ -327,26 +327,50 @@ func benchStepWorld(b *testing.B, n int) *network.World {
 // BenchmarkWorldStep measures raw per-step topology maintenance at
 // growing network sizes with mover fraction 0.5. mode=rebuild forces the
 // pre-incremental full per-step recompute; mode=incremental is the
-// churn-proportional engine (the default for dynamic worlds). Both modes
-// produce bit-identical topologies (pinned by the equivalence and fuzz
-// tests in internal/network), so the ratio is pure maintenance cost.
+// churn-proportional engine (the default for dynamic worlds); mode=sharded
+// steps the incremental engine as S concurrent spatial bands with
+// deterministic halo exchange. All modes produce bit-identical topologies
+// (pinned by the equivalence and fuzz tests in internal/network), so the
+// ratios are pure maintenance cost. The n=100000 tier adds the sharded
+// modes — that is the scale where per-step work is large enough for
+// intra-step parallelism to pay.
 func BenchmarkWorldStep(b *testing.B) {
+	benchWorldStep := func(b *testing.B, n, shards int, rebuild bool) {
+		w := benchStepWorld(b, n)
+		w.SetFullRebuild(rebuild)
+		if shards > 1 {
+			w.SetShardWorkers(shards)
+			old := parallel.Budget()
+			parallel.SetBudget(runtime.NumCPU() - 1)
+			defer parallel.SetBudget(old)
+		}
+		// Warm scratch storage and let the waypoint fleet settle into
+		// its steady-state moving/dwelling mix before timing.
+		for i := 0; i < 150; i++ {
+			w.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+		}
+	}
 	for _, n := range []int{500, 2000, 8000} {
 		for _, mode := range []string{"rebuild", "incremental"} {
 			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
-				w := benchStepWorld(b, n)
-				w.SetFullRebuild(mode == "rebuild")
-				// Warm scratch storage and let the waypoint fleet settle
-				// into its steady-state moving/dwelling mix before timing.
-				for i := 0; i < 150; i++ {
-					w.Step()
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					w.Step()
-				}
+				benchWorldStep(b, n, 1, mode == "rebuild")
 			})
 		}
+	}
+	const big = 100000
+	for _, mode := range []string{"rebuild", "incremental"} {
+		b.Run(fmt.Sprintf("n=%d/mode=%s", big, mode), func(b *testing.B) {
+			benchWorldStep(b, big, 1, mode == "rebuild")
+		})
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d/mode=sharded/S=%d", big, s), func(b *testing.B) {
+			benchWorldStep(b, big, s, false)
+		})
 	}
 }

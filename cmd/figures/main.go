@@ -29,17 +29,18 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to reproduce: 1..11, A..E (or fig1..extE); empty with -all for everything")
-		all        = flag.Bool("all", false, "run every experiment")
-		quick      = flag.Bool("quick", false, "fast smoke pass (fewer runs, smaller sweeps)")
-		runs       = flag.Int("runs", 0, "independent runs per setting (default 40, paper-faithful)")
-		seed       = flag.Uint64("seed", 1, "root seed")
-		workers    = flag.Int("workers", runtime.NumCPU(), "simulation workers (1 = sequential)")
-		runWorkers = flag.Int("runworkers", 1, "concurrent independent runs per setting (results are identical at any value)")
-		expWorkers = flag.Int("expworkers", 1, "concurrent experiments (reports still print in order)")
-		tsvDir     = flag.String("tsv", "", "directory to write per-figure TSV series into")
-		mdFile     = flag.String("md", "", "append Markdown sections for each experiment to this file")
-		list       = flag.Bool("list", false, "list available experiments")
+		fig          = flag.String("fig", "", "figure to reproduce: 1..11, A..E (or fig1..extE); empty with -all for everything")
+		all          = flag.Bool("all", false, "run every experiment")
+		quick        = flag.Bool("quick", false, "fast smoke pass (fewer runs, smaller sweeps)")
+		runs         = flag.Int("runs", 0, "independent runs per setting (default 40, paper-faithful)")
+		seed         = flag.Uint64("seed", 1, "root seed")
+		workers      = flag.Int("workers", runtime.NumCPU(), "simulation workers (1 = sequential)")
+		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs per setting (results are identical at any value)")
+		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (results are identical at any value)")
+		expWorkers   = flag.Int("expworkers", 1, "concurrent experiments (reports still print in order)")
+		tsvDir       = flag.String("tsv", "", "directory to write per-figure TSV series into")
+		mdFile       = flag.String("md", "", "append Markdown sections for each experiment to this file")
+		list         = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -62,11 +63,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Runs:       *runs,
-		Seed:       *seed,
-		Workers:    *workers,
-		RunWorkers: *runWorkers,
-		Quick:      *quick,
+		Runs:         *runs,
+		Seed:         *seed,
+		Workers:      *workers,
+		RunWorkers:   *runWorkers,
+		ShardWorkers: *shardWorkers,
+		Quick:        *quick,
 	}
 	var md *os.File
 	if *mdFile != "" {

@@ -26,26 +26,27 @@ import (
 
 func main() {
 	var (
-		nodes       = flag.Int("nodes", 250, "network size")
-		edges       = flag.Int("edges", 2000, "target directed edge count")
-		gateways    = flag.Int("gateways", 12, "gateway count")
-		mobile      = flag.Float64("mobile", 0.5, "fraction of non-gateway nodes that move")
-		minSpeed    = flag.Float64("minspeed", 0.1, "minimum node speed")
-		maxSpeed    = flag.Float64("maxspeed", 0.5, "maximum node speed")
-		agents      = flag.Int("agents", 100, "agent population")
-		policy      = flag.String("policy", "oldest", "random | oldest")
-		communicate = flag.Bool("communicate", false, "exchange best route when agents meet")
-		stigmergy   = flag.Bool("stigmergy", false, "leave and respect footprints")
-		history     = flag.Int("history", 32, "agent history size (trail + visit memory)")
-		steps       = flag.Int("steps", 300, "steps per run")
-		runs        = flag.Int("runs", 40, "independent runs")
-		seed        = flag.Uint64("seed", 1, "root seed (world trace and placements)")
-		workers     = flag.Int("workers", runtime.NumCPU(), "simulation workers")
-		runWorkers  = flag.Int("runworkers", 1, "concurrent independent runs (aggregates are identical at any value)")
-		curve       = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
-		traceFile   = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
-		metricsFile = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
-		httpAddr    = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
+		nodes        = flag.Int("nodes", 250, "network size")
+		edges        = flag.Int("edges", 2000, "target directed edge count")
+		gateways     = flag.Int("gateways", 12, "gateway count")
+		mobile       = flag.Float64("mobile", 0.5, "fraction of non-gateway nodes that move")
+		minSpeed     = flag.Float64("minspeed", 0.1, "minimum node speed")
+		maxSpeed     = flag.Float64("maxspeed", 0.5, "maximum node speed")
+		agents       = flag.Int("agents", 100, "agent population")
+		policy       = flag.String("policy", "oldest", "random | oldest")
+		communicate  = flag.Bool("communicate", false, "exchange best route when agents meet")
+		stigmergy    = flag.Bool("stigmergy", false, "leave and respect footprints")
+		history      = flag.Int("history", 32, "agent history size (trail + visit memory)")
+		steps        = flag.Int("steps", 300, "steps per run")
+		runs         = flag.Int("runs", 40, "independent runs")
+		seed         = flag.Uint64("seed", 1, "root seed (world trace and placements)")
+		workers      = flag.Int("workers", runtime.NumCPU(), "simulation workers")
+		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs (aggregates are identical at any value)")
+		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
+		curve        = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
+		traceFile    = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+		metricsFile  = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
+		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 
@@ -71,14 +72,15 @@ func main() {
 	fmt.Println("network:", netgen.Describe(w))
 
 	sc := routing.Scenario{
-		Agents:      *agents,
-		Kind:        kind,
-		Communicate: *communicate,
-		Stigmergy:   *stigmergy,
-		HistorySize: *history,
-		Steps:       *steps,
-		Workers:     *workers,
-		RunWorkers:  *runWorkers,
+		Agents:       *agents,
+		Kind:         kind,
+		Communicate:  *communicate,
+		Stigmergy:    *stigmergy,
+		HistorySize:  *history,
+		Steps:        *steps,
+		Workers:      *workers,
+		RunWorkers:   *runWorkers,
+		ShardWorkers: *shardWorkers,
 	}
 	var reg *metrics.Registry
 	if *metricsFile != "" || *httpAddr != "" {

@@ -41,6 +41,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "root seed")
 		workers      = flag.Int("workers", runtime.NumCPU(), "simulation workers")
 		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs per point (aggregates are identical at any value)")
+		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
 		pointWorkers = flag.Int("pointworkers", 1, "concurrent sweep points (rows still emitted in sweep order)")
 		metricsFile  = flag.String("metrics", "", "dump the whole-sweep metrics snapshot to this file (Prometheus text; .json for JSON)")
 		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while sweeping")
@@ -71,8 +72,9 @@ func main() {
 	}
 	cfg := sweepConfig{
 		runs: *runs, seed: *seed,
-		workers: *workers, runWorkers: *runWorkers, pointWorkers: *pointWorkers,
-		reg: reg,
+		workers: *workers, runWorkers: *runWorkers, shardWorkers: *shardWorkers,
+		pointWorkers: *pointWorkers,
+		reg:          reg,
 	}
 	switch *scenario {
 	case "mapping":
@@ -100,6 +102,7 @@ type sweepConfig struct {
 	seed         uint64
 	workers      int
 	runWorkers   int
+	shardWorkers int
 	pointWorkers int
 	reg          *metrics.Registry
 }
@@ -197,7 +200,7 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 		sc := mapping.Scenario{
 			Agents: 15, Kind: kind, Cooperate: cooperate, Stigmergy: stigmergy,
 			MaxSteps: 200000, Workers: cfg.workers, RunWorkers: cfg.runWorkers,
-			Metrics: preg,
+			ShardWorkers: cfg.shardWorkers, Metrics: preg,
 		}
 		switch param {
 		case "agents":
@@ -242,7 +245,8 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		preg := metrics.NewRegistry()
 		sc := routing.Scenario{
 			Agents: 100, Kind: kind, Communicate: communicate, Stigmergy: stigmergy,
-			Workers: cfg.workers, RunWorkers: cfg.runWorkers, Metrics: preg,
+			Workers: cfg.workers, RunWorkers: cfg.runWorkers,
+			ShardWorkers: cfg.shardWorkers, Metrics: preg,
 		}
 		switch param {
 		case "agents":

@@ -27,6 +27,10 @@ type Config struct {
 	// bit-identical at any value; see internal/parallel for the shared
 	// budget that keeps RunWorkers × Workers from oversubscribing.
 	RunWorkers int
+	// ShardWorkers partitions each dynamic world's grid into that many
+	// concurrently stepped spatial bands (0/1 = sequential stepping).
+	// Topologies are bit-identical at any value; see internal/network.
+	ShardWorkers int
 	// Quick shrinks workloads (fewer runs, smaller sweeps) for smoke
 	// runs; reports note when it is set.
 	Quick bool

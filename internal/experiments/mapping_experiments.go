@@ -49,6 +49,7 @@ func staticWorldFor(cfg Config, spec netgen.Spec, seed uint64, w *network.World)
 func mapSetting(cfg Config, label string, sc mapping.Scenario) (mapping.Aggregate, error) {
 	sc.Workers = cfg.Workers
 	sc.RunWorkers = cfg.RunWorkers
+	sc.ShardWorkers = cfg.ShardWorkers
 	if sc.MaxSteps == 0 {
 		sc.MaxSteps = 200000
 	}
@@ -340,7 +341,8 @@ func extE(cfg Config) (Report, error) {
 			return Report{}, err
 		}
 		sc := mapping.Scenario{Agents: 15, Kind: core.PolicyConscientious,
-			Cooperate: true, Stigmergy: true, Workers: cfg.Workers}
+			Cooperate: true, Stigmergy: true,
+			Workers: cfg.Workers, ShardWorkers: cfg.ShardWorkers}
 		res, err := mapping.Run(w, sc, seedFor(cfg.Seed, "extE")+uint64(r))
 		if err != nil {
 			return Report{}, err

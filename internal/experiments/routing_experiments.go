@@ -27,6 +27,7 @@ func routingWorldFor(seed uint64) func(int) (*network.World, error) {
 func routeSetting(cfg Config, label string, sc routing.Scenario) (routing.Aggregate, error) {
 	sc.Workers = cfg.Workers
 	sc.RunWorkers = cfg.RunWorkers
+	sc.ShardWorkers = cfg.ShardWorkers
 	return routing.RunMany(routingWorldFor(cfg.Seed), sc, cfg.Runs, seedFor(cfg.Seed, label))
 }
 
@@ -374,7 +375,7 @@ func extD(cfg Config) (Report, error) {
 		gen := traffic.NewGen(5, 64, 100, rng.New(seedFor(cfg.Seed, "extD/traffic")+uint64(r)))
 		sc := routing.Scenario{
 			Agents: 100, Kind: core.PolicyOldestNode,
-			Workers:  cfg.Workers,
+			Workers: cfg.Workers, ShardWorkers: cfg.ShardWorkers,
 			Observer: gen.Step,
 		}
 		res, err := routing.Run(w, sc, seedFor(cfg.Seed, "extD")+uint64(r))

@@ -165,6 +165,33 @@ func (g *Grid) BoxCellRange(lo, hi Point) (minCX, maxCX, minCY, maxCY int) {
 // Cols returns the number of cell columns (the flat-index row stride).
 func (g *Grid) Cols() int { return g.cols }
 
+// ColOf returns the cell-column index of p, clamped to the arena — the
+// spatial coordinate world sharding partitions on.
+func (g *Grid) ColOf(p Point) int {
+	cx := int((p.X - g.arena.MinX) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	return cx
+}
+
+// ReserveBuckets pre-grows every cell bucket to hold roughly twice the
+// mean occupancy for items uniformly spread over the grid, so steady-state
+// Update churn (a node entering a cell fuller than that cell has ever
+// been) stops growing buckets one realloc at a time. Call once before the
+// first Rebuild on grids that will be incrementally updated.
+func (g *Grid) ReserveBuckets(items int) {
+	perCell := 2*items/len(g.cells) + 4
+	for ci := range g.cells {
+		if cap(g.cells[ci]) < perCell {
+			g.cells[ci] = make([]CellEntry, 0, perCell)
+		}
+	}
+}
+
 // CellSize returns the side length of one grid cell.
 func (g *Grid) CellSize() float64 { return g.cell }
 

@@ -70,6 +70,13 @@ type Scenario struct {
 	// worlds are stepped), which RunMany enforces. A Tracer forces
 	// sequential execution so the shared sink observes runs in order.
 	RunWorkers int
+	// ShardWorkers partitions the world grid into that many spatial
+	// bands stepped concurrently (0 leaves the world's setting, 1 forces
+	// the sequential incremental path); static worlds ignore it.
+	// Topologies are bit-identical at any value, so results never depend
+	// on it; shard workers draw from the same parallel budget as
+	// RunWorkers and degrade to sequential when the budget is claimed.
+	ShardWorkers int
 	// Tracer, if set, receives structured events (moves, meetings,
 	// per-step knowledge). Events are emitted from sequential sections,
 	// so traces are reproducible with Workers <= 1.
@@ -228,6 +235,9 @@ func Run(w *network.World, sc Scenario, seed uint64) (Result, error) {
 // run is Run on caller-provided scratch state.
 func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, error) {
 	sc = sc.withDefaults()
+	if sc.ShardWorkers > 0 {
+		w.SetShardWorkers(sc.ShardWorkers)
+	}
 	root := rng.New(seed).Named("mapping")
 	agents, err := placeAgents(w, sc, root)
 	if err != nil {

@@ -155,3 +155,12 @@ func (f *Fleet) Step(pos []geom.Point) {
 		pos[i] = m.Step(pos[i])
 	}
 }
+
+// StepOne advances the single node i and returns its new position. Every
+// mover owns its node's state and RNG stream exclusively (constructors
+// take a per-node stream), so distinct nodes may be stepped concurrently
+// and in any order with results identical to a whole-fleet Step — the
+// contract sharded world stepping relies on.
+func (f *Fleet) StepOne(i int, p geom.Point) geom.Point {
+	return f.movers[i].Step(p)
+}

@@ -181,3 +181,44 @@ func TestDeterministicTraces(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetStepOneMatchesStep pins the shard-worker entry point: stepping
+// each mover individually through StepOne (in any per-node order) must
+// reproduce Fleet.Step exactly, because every mover owns a private RNG
+// stream.
+func TestFleetStepOneMatchesStep(t *testing.T) {
+	arena := geom.Square(60)
+	build := func() (*Fleet, []geom.Point) {
+		s := rng.New(12)
+		n := 24
+		movers := make([]Mover, n)
+		pos := make([]geom.Point, n)
+		for i := range movers {
+			pos[i] = geom.Point{X: s.Range(0, 60), Y: s.Range(0, 60)}
+			switch i % 3 {
+			case 0:
+				movers[i] = NewRandomVelocity(arena, 0.5, 2, s.Child(uint64(i)))
+			case 1:
+				movers[i] = NewLocalWaypoint(arena, 10, 0.5, 2, 3, s.Child(uint64(i)))
+			default:
+				movers[i] = Static{}
+			}
+		}
+		return NewFleet(movers), pos
+	}
+	fa, pa := build()
+	fb, pb := build()
+	for step := 0; step < 200; step++ {
+		fa.Step(pa)
+		// Step the twin one mover at a time, deliberately in reverse
+		// order: per-mover RNG streams make the order unobservable.
+		for i := fb.Len() - 1; i >= 0; i-- {
+			pb[i] = fb.StepOne(i, pb[i])
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("step %d: mover %d diverged: %v vs %v", step, i, pa[i], pb[i])
+			}
+		}
+	}
+}

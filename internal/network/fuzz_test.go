@@ -4,14 +4,18 @@ import "testing"
 
 // FuzzIncrementalTopology drives a mixed mobility/decay tape: each tape
 // byte configures one node (mover kind, whether its battery decays, decay
-// speed, floor), and the trailing bytes pick the seed spread and step
-// count. For every tape the incrementally maintained topology must stay
-// bit-identical to a full rebuild after every single step, and both must
-// match an O(n²) brute-force referee at the end.
+// speed, floor), and the trailing bytes pick the seed spread, step count,
+// and the maximum radio range (up to most of the arena, so discs straddle
+// many shard-band boundaries at once). For every tape the incrementally
+// maintained topology must stay bit-identical to a full rebuild after
+// every single step — and so must a spatially sharded twin at every shard
+// count in {1, 2, 3, 7} — and all must match an O(n²) brute-force referee
+// at the end.
 func FuzzIncrementalTopology(f *testing.F) {
 	f.Add(uint64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7, 30})
 	f.Add(uint64(42), []byte{255, 0, 255, 0, 128, 64, 200})
 	f.Add(uint64(9), []byte{7, 7, 7, 7})
+	f.Add(uint64(77), []byte{9, 13, 5, 240, 6, 12, 1, 19, 161}) // long-range tape
 	f.Fuzz(func(t *testing.T, seed uint64, tape []byte) {
 		if len(tape) < 2 {
 			t.Skip()
@@ -32,7 +36,10 @@ func FuzzIncrementalTopology(f *testing.F) {
 			}
 		}
 		p := planParams{
-			arena: 40, minR: 3, maxR: 12,
+			arena: 40, minR: 3,
+			// Up to 30 on a 40-unit arena: discs can cover most of the grid,
+			// so a single moved node straddles every shard-band boundary.
+			maxR:     6 + float64(tape[len(tape)-1]%25),
 			minSpeed: 0.2, maxSpeed: 1 + float64(tape[0]%8), // up to speeds past the cell size
 			pause: int(tape[0] % 5),
 		}
@@ -47,11 +54,24 @@ func FuzzIncrementalTopology(f *testing.F) {
 			}
 			return
 		}
+		shardCounts := []int{1, 2, 3, 7}
+		sharded := make([]*World, len(shardCounts))
+		for i, s := range shardCounts {
+			sharded[i] = buildPlannedWorld(t, plans, p, seed)
+			sharded[i].SetShardWorkers(s)
+		}
 		for step := 0; step < steps; step++ {
 			inc.Step()
 			full.Step()
 			if diff, ok := sameTopology(inc.Topology(), full.Topology()); !ok {
 				t.Fatalf("step %d: incremental vs full rebuild: %s", step+1, diff)
+			}
+			for i, w := range sharded {
+				w.Step()
+				if diff, ok := sameTopology(inc.Topology(), w.Topology()); !ok {
+					t.Fatalf("step %d: incremental vs sharded S=%d: %s",
+						step+1, shardCounts[i], diff)
+				}
 			}
 		}
 		if diff, ok := sameTopology(inc.Topology(), bruteForceTopology(inc)); !ok {

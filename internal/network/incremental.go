@@ -206,6 +206,22 @@ func (w *World) initIncremental(movers []mobility.Mover) {
 	}
 	w.incr = t
 	w.rebuildInLists()
+	// Pre-size the steady-state growth points so maintenance settles into
+	// zero allocations at any n, not just small worlds: class-4 in-source
+	// lists get headroom over their initial population, the class-5 walk
+	// buffer starts at a realistic degree bound, and every adjacency row
+	// migrates out of the CSR build with insert headroom (a CSR row's
+	// first surgical insert would otherwise reallocate it, and rows at
+	// their exact high-water degree would keep reallocating one by one).
+	for _, vi := range t.mobile {
+		if have := len(t.inDecay[vi]); cap(t.inDecay[vi]) < have+4 {
+			grown := make([]inSrc, have, have+4)
+			copy(grown, t.inDecay[vi])
+			t.inDecay[vi] = grown
+		}
+	}
+	t.outBuf = make([]int32, 0, 64)
+	w.topo.OwnRows(8)
 }
 
 // rebuildInLists derives the class-4 in-source lists from the current
@@ -268,6 +284,21 @@ func (w *World) stepIncremental() {
 	}
 	sp.Stop()
 	sp = w.m.decay.Start()
+	w.advanceDecay()
+	sp.Stop()
+	sp = w.m.rebuild.Start()
+	added, removed := w.applyChurn(math.Sqrt(maxDisp2))
+	sp.Stop()
+	w.m.linksAdded.Add(added)
+	w.m.linksRemoved.Add(removed)
+	w.m.edges.Set(float64(w.topo.M()))
+}
+
+// advanceDecay drains the decaying radios one step and refreshes the
+// squared-range cache — the decay phase shared by the sequential and
+// sharded incremental paths.
+func (w *World) advanceDecay() {
+	t := w.incr
 	for _, id := range t.decayIds {
 		t.r2[id].prev = t.r2[id].cur
 		w.radios[id].Step()
@@ -277,13 +308,6 @@ func (w *World) stepIncremental() {
 		// so comparing encodings detects exactly the real range changes.
 		t.rangeChanged[id] = c2 != t.r2[id].prev
 	}
-	sp.Stop()
-	sp = w.m.rebuild.Start()
-	added, removed := w.applyChurn(math.Sqrt(maxDisp2))
-	sp.Stop()
-	w.m.linksAdded.Add(added)
-	w.m.linksRemoved.Add(removed)
-	w.m.edges.Set(float64(w.topo.M()))
 }
 
 // applyChurn repairs the topology after movers re-bucketed and batteries

@@ -57,9 +57,12 @@ type World struct {
 
 	// incr holds the incremental topology engine's per-world state (nil
 	// for static worlds); fullRebuild forces the per-step full recompute
-	// path instead, for equivalence tests and benchmarks.
+	// path instead, for equivalence tests and benchmarks. shard, when
+	// non-nil, steps the incremental engine as concurrent spatial bands
+	// (see shard.go); all three paths produce bit-identical topologies.
 	incr        *incrState
 	fullRebuild bool
+	shard       *shardState
 
 	m        worldMetrics
 	diffMark []int32 // per-node stamp scratch for the instrumented edge diff
@@ -143,6 +146,11 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.maxRange = maxRange
 	w.grid = geom.NewGrid(cfg.Arena, n, maxRange)
+	if w.dynamic {
+		// Incremental updates re-bucket nodes one at a time; pre-grown
+		// buckets keep that free of steady-state growth reallocations.
+		w.grid.ReserveBuckets(n)
+	}
 	w.rebuildTopology()
 	if w.dynamic {
 		w.initIncremental(cfg.Movers)
@@ -201,6 +209,10 @@ func (w *World) Step() {
 	}
 	if w.fullRebuild || w.incr == nil {
 		w.stepFullRebuild()
+		return
+	}
+	if w.shard != nil {
+		w.stepSharded()
 		return
 	}
 	w.stepIncremental()

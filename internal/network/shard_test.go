@@ -1,0 +1,209 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// TestShardedMatchesSequential is the sharded-stepping equivalence gate:
+// on every incremental-engine scenario and several shard counts, the
+// concurrently sharded topology must stay bit-identical to the sequential
+// incremental path (itself pinned to the full rebuild) after every step,
+// including the maintained edge count. Shard workers draw from the live
+// parallel budget, so under `go test -race` this also exercises the halo
+// exchange for data races.
+func TestShardedMatchesSequential(t *testing.T) {
+	for name, sc := range incrementalScenarios() {
+		for _, shards := range []int{2, 3, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				seq := buildPlannedWorld(t, sc.plans(), sc.p, 42)
+				shd := buildPlannedWorld(t, sc.plans(), sc.p, 42)
+				shd.SetShardWorkers(shards)
+				if !seq.Dynamic() {
+					t.Fatal("scenario built a static world — equivalence is vacuous")
+				}
+				for step := 0; step < sc.steps; step++ {
+					seq.Step()
+					shd.Step()
+					if diff, ok := sameTopology(seq.Topology(), shd.Topology()); !ok {
+						t.Fatalf("step %d (shards=%d): sequential vs sharded: %s",
+							step+1, shards, diff)
+					}
+					if step%67 == 0 {
+						if diff, ok := sameTopology(shd.Topology(), bruteForceTopology(shd)); !ok {
+							t.Fatalf("step %d: sharded vs brute force: %s", step+1, diff)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedDeterminismAcrossBudgets pins that the sharded path's result
+// cannot depend on how many workers the budget actually grants: a world
+// stepped with the budget forced to zero (every phase degrades to an
+// inline sequential loop over the bands) matches one stepped with a full
+// budget, step for step.
+func TestShardedDeterminismAcrossBudgets(t *testing.T) {
+	sc := incrementalScenarios()["mixed-mobile-decay"]
+	starved := buildPlannedWorld(t, sc.plans(), sc.p, 9)
+	funded := buildPlannedWorld(t, sc.plans(), sc.p, 9)
+	starved.SetShardWorkers(4)
+	funded.SetShardWorkers(4)
+	old := parallel.Budget()
+	defer parallel.SetBudget(old)
+	for step := 0; step < 200; step++ {
+		parallel.SetBudget(0)
+		starved.Step()
+		parallel.SetBudget(runtime.NumCPU())
+		funded.Step()
+		if diff, ok := sameTopology(starved.Topology(), funded.Topology()); !ok {
+			t.Fatalf("step %d: budget=0 vs budget=NumCPU: %s", step+1, diff)
+		}
+	}
+}
+
+// TestShardedModeToggle cycles a world through sequential-incremental,
+// sharded (at varying shard counts) and full-rebuild stepping mid-run and
+// checks it still tracks an always-full-rebuild twin exactly — SetShards
+// and SetFullRebuild are safe at any step boundary.
+func TestShardedModeToggle(t *testing.T) {
+	sc := incrementalScenarios()["waypoint-pause-decay"]
+	toggled := buildPlannedWorld(t, sc.plans(), sc.p, 5)
+	full := buildPlannedWorld(t, sc.plans(), sc.p, 5)
+	full.SetFullRebuild(true)
+	for step := 0; step < 240; step++ {
+		switch (step / 30) % 4 {
+		case 0:
+			toggled.SetFullRebuild(false)
+			toggled.SetShardWorkers(1)
+		case 1:
+			toggled.SetFullRebuild(false)
+			toggled.SetShardWorkers(3)
+		case 2:
+			toggled.SetFullRebuild(true)
+		default:
+			toggled.SetFullRebuild(false)
+			toggled.SetShardWorkers(7)
+		}
+		toggled.Step()
+		full.Step()
+		if diff, ok := sameTopology(toggled.Topology(), full.Topology()); !ok {
+			t.Fatalf("step %d: toggled vs full rebuild: %s", step+1, diff)
+		}
+	}
+}
+
+// TestShardedChurnCountersMatch checks the sharded path's merged churn
+// counters agree with the full-rebuild topology diff, so the
+// world_links_{added,removed}_total metrics mean the same thing on all
+// three stepping paths.
+func TestShardedChurnCountersMatch(t *testing.T) {
+	sc := incrementalScenarios()["mixed-mobile-decay"]
+	shd := buildPlannedWorld(t, sc.plans(), sc.p, 11)
+	full := buildPlannedWorld(t, sc.plans(), sc.p, 11)
+	shd.SetShardWorkers(4)
+	full.SetFullRebuild(true)
+	rShd, rFull := metrics.NewRegistry(), metrics.NewRegistry()
+	shd.Instrument(rShd)
+	full.Instrument(rFull)
+	for step := 0; step < 200; step++ {
+		shd.Step()
+		full.Step()
+	}
+	for _, name := range []string{"world_links_added_total", "world_links_removed_total"} {
+		a, b := rShd.Counter(name).Value(), rFull.Counter(name).Value()
+		if a != b {
+			t.Errorf("%s: sharded %d vs full rebuild %d", name, a, b)
+		}
+		if a == 0 {
+			t.Errorf("%s: no churn recorded — scenario is not exercising the counters", name)
+		}
+	}
+}
+
+// TestSnapshotShardLayoutIndependent pins that snapshots are oblivious to
+// the shard layout: a world stepped with S=4 snapshots byte-identically to
+// its sequentially stepped twin, the restored world carries the identical
+// topology, and restoring under any shard-worker setting behaves the same.
+func TestSnapshotShardLayoutIndependent(t *testing.T) {
+	sc := incrementalScenarios()["mixed-mobile-decay"]
+	shd := buildPlannedWorld(t, sc.plans(), sc.p, 17)
+	seq := buildPlannedWorld(t, sc.plans(), sc.p, 17)
+	shd.SetShardWorkers(4)
+	for step := 0; step < 120; step++ {
+		shd.Step()
+		seq.Step()
+	}
+	var bufShd, bufSeq bytes.Buffer
+	if err := WriteSnapshot(shd, &bufShd); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(seq, &bufSeq); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufShd.Bytes(), bufSeq.Bytes()) {
+		t.Fatal("snapshot of S=4 world differs from its sequentially stepped twin")
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(bufShd.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, ok := sameTopology(restored.Topology(), shd.Topology()); !ok {
+		t.Fatalf("restored topology differs from the snapshotted world: %s", diff)
+	}
+	// Restored snapshots are static worlds; requesting shard workers is an
+	// explicit no-op and stepping changes nothing, at any setting.
+	restored4, err := ReadSnapshot(bytes.NewReader(bufShd.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored4.SetShardWorkers(4)
+	for step := 0; step < 10; step++ {
+		restored.Step()
+		restored4.Step()
+	}
+	if diff, ok := sameTopology(restored.Topology(), restored4.Topology()); !ok {
+		t.Fatalf("restored worlds diverged across shard settings: %s", diff)
+	}
+	// Round-trip: snapshotting the restored world reproduces the bytes.
+	var again bytes.Buffer
+	if err := WriteSnapshot(restored, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), bufShd.Bytes()) {
+		t.Fatal("snapshot round-trip is not byte-stable")
+	}
+}
+
+// TestShardedZeroAllocsDegraded enforces the sharded path's scratch
+// budget: with the parallel budget forced to zero (every phase inlined on
+// the caller), a warmed sharded world must step allocation-free — proof
+// that the per-shard scan lists, halo buffers and counters are pre-sized
+// and reused. The parallel variant additionally pays a handful of bytes
+// per step for goroutine wake-ups, which is why the pinned budget uses the
+// degraded mode.
+func TestShardedZeroAllocsDegraded(t *testing.T) {
+	w := buildAllocWorld(t, 1000)
+	w.SetShardWorkers(4)
+	old := parallel.Budget()
+	parallel.SetBudget(0)
+	defer parallel.SetBudget(old)
+	for i := 0; i < 300; i++ {
+		w.Step()
+		w.ConnectivityToGateways()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		w.Step()
+		w.ConnectivityToGateways()
+	})
+	if avg > 0.05 {
+		t.Fatalf("sharded World.Step (degraded) allocates %v per step, want ~0", avg)
+	}
+}

@@ -16,7 +16,12 @@ import (
 // mobility and battery state are deliberately not captured (movers carry
 // RNG state), so snapshots are for sharing fixture networks, not for
 // checkpointing dynamic runs. Dynamic runs are reproduced from
-// (spec, seed) instead.
+// (spec, seed) instead. Snapshots are also oblivious to how the world is
+// stepped: all three stepping paths (full rebuild, sequential
+// incremental, spatially sharded) maintain bit-identical positions and
+// topology, so a world stepped with any SetShardWorkers setting
+// serialises byte-for-byte the same (pinned by
+// TestSnapshotShardLayoutIndependent).
 type Snapshot struct {
 	Arena     geom.Rect    `json:"arena"`
 	Positions []geom.Point `json:"positions"`

@@ -107,6 +107,94 @@ func (p *Pool) Workers() int { return p.workers }
 // Parallel reports whether the pool may use more than one goroutine.
 func (p *Pool) Parallel() bool { return p.workers > 1 }
 
+// Group is the inner-loop counterpart of Pool: a reusable fan-out for
+// per-step data parallelism (e.g. the world's spatial shards), built so a
+// hot path can dispatch the same batch shape every step without
+// allocating. One Acquire claims budget tokens for a span of Do calls
+// (typically the phases of one step) and Release returns them; with no
+// tokens granted — the budget spent by outer run-level pools, which claim
+// for whole batches and therefore win — Do degrades to an inline
+// sequential loop, exactly the engine rule run-level parallelism follows.
+//
+// Do carries the same determinism contract as Pool.Run: items must be
+// mutually independent, every item runs exactly once, and no scheduling
+// decision is observable to fn — so results are bit-identical whether the
+// group got 0 extra workers or many.
+//
+// A Group is not safe for concurrent use; it belongs to one stepping loop.
+type Group struct {
+	extra int // tokens currently claimed
+	n     int
+	fn    func(int)
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// Acquire claims up to workers-1 budget tokens for the coming Do calls.
+// Call Release when the span ends; Acquire on a group already holding
+// tokens is a bug.
+func (g *Group) Acquire(workers int) {
+	g.extra = TryAcquire(workers - 1)
+}
+
+// Workers returns how many goroutines Do will use (claimed tokens + the
+// caller).
+func (g *Group) Workers() int { return g.extra + 1 }
+
+// Release returns the tokens claimed by Acquire.
+func (g *Group) Release() {
+	Release(g.extra)
+	g.extra = 0
+}
+
+// Do invokes fn(i) for every i in [0, n) exactly once and blocks until all
+// calls return, fanning out over the claimed workers. The group's own
+// fields back the dispatch and workers are spawned as bound methods, so a
+// steady-state Do is allocation-free.
+func (g *Group) Do(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	extra := g.extra
+	if extra > n-1 {
+		extra = n - 1
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	g.n = n
+	g.fn = fn
+	g.next.Store(0)
+	g.wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go g.work()
+	}
+	g.drain()
+	g.wg.Wait()
+	g.fn = nil
+}
+
+// drain is the caller's share of a Do batch.
+func (g *Group) drain() {
+	n := int64(g.n)
+	for {
+		i := g.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		g.fn(int(i))
+	}
+}
+
+// work is one spawned worker's share of a Do batch.
+func (g *Group) work() {
+	defer g.wg.Done()
+	g.drain()
+}
+
 // Run invokes fn(i) for every i in [0, n) exactly once and blocks until
 // all calls return. Calls MUST be mutually independent: execution order is
 // unspecified in parallel mode. Every item runs even if another item

@@ -68,6 +68,13 @@ type Scenario struct {
 	// Observer is attached, RunMany forces sequential execution so the
 	// shared sink observes runs in order.
 	RunWorkers int
+	// ShardWorkers partitions the world grid into that many spatial
+	// bands stepped concurrently (0 leaves the world's setting, 1 forces
+	// the sequential incremental path). Topologies are bit-identical at
+	// any value, so results never depend on it; shard workers draw from
+	// the same parallel budget as RunWorkers and degrade to sequential
+	// when outer run-level parallelism has claimed it.
+	ShardWorkers int
 	// Observer, if set, is called once per step after deposits and
 	// measurement, before the world moves — the hook the packet-level
 	// traffic harness uses to forward packets against live tables. The
@@ -500,6 +507,9 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 	case core.PolicyRandom, core.PolicyOldestNode:
 	default:
 		return Result{}, fmt.Errorf("routing: unsupported policy %v", sc.Kind)
+	}
+	if sc.ShardWorkers > 0 {
+		w.SetShardWorkers(sc.ShardWorkers)
 	}
 	root := rng.New(seed).Named("routing")
 	agents, err := placeAgents(w, sc, root)

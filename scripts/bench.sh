@@ -8,6 +8,12 @@
 # vs incremental engine) and emits results/bench_incremental.txt plus
 # results/BENCH_incremental.json with incremental-over-rebuild speedups;
 # that JSON is also copied to the repo root as BENCH_incremental.json.
+# Finally it runs the n=100000 spatial-sharding tier (rebuild vs
+# incremental vs sharded at S=1,2,4,8) and emits results/bench_shard.txt
+# plus results/BENCH_shard.json (root copy BENCH_shard.json) with
+# sharded-over-incremental speedups and the host CPU count, since shard
+# scaling is budget-limited: on a single-core host every shard phase
+# degrades to sequential and the honest speedup is ~1x.
 # Usage: scripts/bench.sh [benchtime]   (default 5x; `scripts/bench.sh 1x`
 # is the CI smoke run, which skips the sweep timing). The world-step
 # benchmarks default to 600 fixed iterations for stable per-step numbers;
@@ -84,7 +90,7 @@ ijson="$out/BENCH_incremental.json"
   echo "# pin the two modes bit-identical, so the ratio is pure maintenance"
   echo "# cost. Acceptance floor: >=3x at n=8000."
   go test -run '^$' -benchtime "$world_benchtime" -benchmem \
-    -bench 'BenchmarkWorldStep' .
+    -bench 'BenchmarkWorldStep/n=(500|2000|8000)/' .
 } | tee "$iraw"
 
 awk '
@@ -115,6 +121,60 @@ if [ "$out" = "results" ]; then
   echo "wrote $ijson (copied to ./BENCH_incremental.json)"
 else
   echo "wrote $ijson"
+fi
+
+# --- spatial sharding: n=100000, rebuild vs incremental vs sharded S=1..8 ---
+# The sharded modes step the incremental engine as S concurrent vertical
+# bands with deterministic halo exchange (bit-identical topologies at any
+# S, pinned by internal/network's equivalence/fuzz/race tests). Shard
+# workers draw from the shared parallel budget, so the measured scaling is
+# bounded by the host's cores; the emitted JSON records that count.
+shard_benchtime="${SHARD_BENCHTIME:-150x}"
+if [ "$benchtime" = "1x" ]; then
+  shard_benchtime="1x"
+fi
+sraw="$out/bench_shard.txt"
+sjson="$out/BENCH_shard.json"
+
+{
+  echo "# Per-step topology maintenance at n=100000 — spatial sharding tier"
+  echo "# host: $(nproc) CPU(s), $(go version | cut -d' ' -f3-)"
+  echo "# benchtime: $shard_benchtime"
+  echo "#"
+  echo "# mode=sharded/S=k partitions the grid into k vertical bands stepped"
+  echo "# concurrently (budget permitting); cross-band edges merge through"
+  echo "# per-shard halo buffers in fixed order, so every mode below yields"
+  echo "# the same topology bit for bit. speedup_vs_incremental is measured"
+  echo "# against this run's mode=incremental baseline; with fewer cores than"
+  echo "# shards the surplus bands run inline and the ratio approaches 1x."
+  go test -run '^$' -benchtime "$shard_benchtime" -benchmem \
+    -bench 'BenchmarkWorldStep/n=100000/' .
+} | tee "$sraw"
+
+awk -v cpus="$(nproc)" '
+/^BenchmarkWorldStep/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (!(name in ns)) order[n++] = name
+  ns[name] = $3
+  allocs[name] = $7
+  if (name ~ /mode=incremental$/) base_ns = $3
+}
+END {
+  printf "[\n"
+  for (i = 0; i < n; i++) {
+    nm = order[i]
+    sp = (base_ns + 0 > 0 && ns[nm] + 0 > 0) ? base_ns / ns[nm] : 1.0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"speedup_vs_incremental\": %.3f, \"cpus\": %d}%s\n", \
+      nm, ns[nm], allocs[nm], sp, cpus, (i < n - 1 ? "," : "")
+  }
+  printf "]\n"
+}' "$sraw" > "$sjson"
+if [ "$out" = "results" ]; then
+  cp "$sjson" BENCH_shard.json
+  echo "wrote $sjson (copied to ./BENCH_shard.json)"
+else
+  echo "wrote $sjson"
 fi
 
 if [ "$benchtime" != "1x" ]; then

@@ -42,6 +42,15 @@ go test -race -count=1 \
   -run 'IncrementalMatchesFullRebuild|IncrementalModeToggle|IncrementalChurnCounters|WorldStepZeroAllocs' \
   ./internal/network
 
+echo "== sharded-stepping determinism gate (GOMAXPROCS=2 and NumCPU, under -race)"
+# Spatially sharded stepping must stay bit-identical to the sequential
+# incremental path at every shard count and any worker budget. Run the
+# equivalence/determinism/snapshot tests under the race detector twice: at
+# a forced GOMAXPROCS=2 (a many-core host exercises the starved-budget
+# schedule, a 1-core host a parallel one) and at the host default.
+GOMAXPROCS=2 go test -race -count=1 -run 'Sharded|SnapshotShardLayout' ./internal/network
+go test -race -count=1 -run 'Sharded|SnapshotShardLayout' ./internal/network
+
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
 
@@ -52,6 +61,8 @@ test -s "$benchout/BENCH_parallel.json"
 grep -q '"speedup_vs_sequential"' "$benchout/BENCH_parallel.json"
 test -s "$benchout/BENCH_incremental.json"
 grep -q '"speedup_vs_rebuild"' "$benchout/BENCH_incremental.json"
+test -s "$benchout/BENCH_shard.json"
+grep -q '"speedup_vs_incremental"' "$benchout/BENCH_shard.json"
 rm -rf "$benchout"
 
 echo "== metrics exposition smoke"
