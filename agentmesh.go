@@ -31,6 +31,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
@@ -198,10 +199,42 @@ func NewTrafficGen(perStep, ttl, warmup int, seed uint64) *TrafficGen {
 	return traffic.NewGen(perStep, ttl, warmup, rng.New(seed))
 }
 
+// FaultSchedule is a deterministic, immutable fault-injection schedule:
+// node churn, gateway failure, partitions, and radio degradation fired at
+// fixed world steps. Attach one via RoutingScenario.Faults or
+// MappingScenario.Faults; one schedule may drive many worlds.
+type FaultSchedule = faults.Schedule
+
+// FaultEvent is one scheduled fault occurrence.
+type FaultEvent = faults.Event
+
+// FaultPlan is the parameterised generator of fault schedules: churn
+// cadence, gateway-failure windows, partitions, and radio degradation,
+// expanded into a concrete FaultSchedule by a seed.
+type FaultPlan = faults.Plan
+
+// NewFaultSchedule builds an explicit schedule from scripted events
+// (stably sorted by step).
+func NewFaultSchedule(events []FaultEvent) *FaultSchedule {
+	return faults.NewSchedule(events)
+}
+
+// FaultPresetNames lists the built-in fault scenario presets ("churn",
+// "gwfail", "partition", "degrade", "blackout").
+func FaultPresetNames() []string { return faults.PresetNames() }
+
+// FaultPreset expands a named preset for an n-node world with the given
+// gateways over a run of the given length, spending all schedule
+// randomness from seed.
+func FaultPreset(name string, n int, gateways []NodeID, steps int, seed uint64) (*FaultSchedule, error) {
+	return faults.Preset(name, n, gateways, steps, seed)
+}
+
 // SaveNetwork writes a static snapshot of the world (positions, current
-// radio ranges, gateways) as JSON. Snapshots share fixture networks; they
-// do not checkpoint mobility or battery state — rebuild dynamic worlds
-// from (NetworkSpec, seed) instead.
+// radio ranges, gateways — and, mid-fault, the dead/downed/partition
+// state) as JSON. Snapshots share fixture networks; they do not
+// checkpoint mobility or battery state — rebuild dynamic worlds from
+// (NetworkSpec, seed) instead.
 func SaveNetwork(w *World, out io.Writer) error {
 	return network.WriteSnapshot(w, out)
 }

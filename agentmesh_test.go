@@ -110,7 +110,7 @@ func TestFigureFacade(t *testing.T) {
 		t.Skip("not short")
 	}
 	ids := Figures()
-	if len(ids) != 22 {
+	if len(ids) != 24 {
 		t.Fatalf("figures = %v", ids)
 	}
 	rep, err := Figure("fig3", ExperimentConfig{Runs: 2, Quick: true})

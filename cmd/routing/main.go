@@ -7,6 +7,7 @@
 //	routing -agents 100 -policy oldest -communicate          # Fig 11's pathology
 //	routing -agents 100 -policy oldest -communicate -stigmergy
 //	routing -agents 50 -history 8 -curve
+//	routing -agents 100 -faults blackout             # churn + gateway failures + a partition
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
@@ -43,6 +45,8 @@ func main() {
 		workers      = flag.Int("workers", runtime.NumCPU(), "simulation workers")
 		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs (aggregates are identical at any value)")
 		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
+		faultPreset  = flag.String("faults", "", "fault preset to inject (churn|gwfail|partition|degrade|blackout)")
+		strandedKill = flag.Bool("strandedkill", false, "remove stranded agents instead of respawning them")
 		curve        = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
 		traceFile    = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
 		metricsFile  = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
@@ -82,6 +86,18 @@ func main() {
 		RunWorkers:   *runWorkers,
 		ShardWorkers: *shardWorkers,
 	}
+	if *faultPreset != "" {
+		sched, err := faults.Preset(*faultPreset, w.N(), w.Gateways(), *steps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routing:", err)
+			os.Exit(2)
+		}
+		sc.Faults = sched
+		if *strandedKill {
+			sc.StrandedPolicy = routing.StrandedKill
+		}
+		fmt.Printf("faults: preset=%s events=%d\n", *faultPreset, sched.Len())
+	}
 	var reg *metrics.Registry
 	if *metricsFile != "" || *httpAddr != "" {
 		reg = metrics.NewRegistry()
@@ -116,6 +132,14 @@ func main() {
 	fmt.Printf("overhead: moves=%d meetings=%d deposits=%d adoptions=%d marks=%d\n",
 		agg.Overhead.Moves, agg.Overhead.Meetings, agg.Overhead.RouteDeposits,
 		agg.Overhead.TrailAdoptions, agg.Overhead.MarksLeft)
+	if *faultPreset != "" {
+		fmt.Printf("route staleness (mean age, steps): %.2f\n", agg.MeanStaleness)
+		fmt.Printf("reconvergence: local %.2f steps, end-to-end %.2f steps (%d/%d events recovered)\n",
+			agg.Reconv.Mean, agg.ReconvE2E.Mean, agg.Recovered, agg.Recovered+agg.Censored)
+		fmt.Printf("connectivity floor: local %.4f, end-to-end %.4f\n",
+			agg.Floor.Mean, agg.FloorE2E.Mean)
+		fmt.Printf("stranded agents: %d\n", agg.Stranded)
+	}
 	if *metricsFile != "" {
 		if err := metrics.WriteFile(reg, *metricsFile); err != nil {
 			fmt.Fprintln(os.Stderr, "routing:", err)

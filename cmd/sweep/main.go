@@ -8,6 +8,8 @@
 //	sweep -scenario mapping -param agents  -values 1,2,5,10,20 -stigmergy
 //	sweep -scenario mapping -param epsilon -values 0,0.1,0.2 -policy super
 //	sweep -scenario routing -param agents -values 10,50,100 -pointworkers 4 -runworkers 2
+//	sweep -scenario routing -param agents -values 50,100 -faults churn
+//	sweep -scenario routing -param agents -values 50,100 -faults partition -communicate
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
@@ -43,6 +46,8 @@ func main() {
 		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs per point (aggregates are identical at any value)")
 		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
 		pointWorkers = flag.Int("pointworkers", 1, "concurrent sweep points (rows still emitted in sweep order)")
+		faultPreset  = flag.String("faults", "", "routing: fault preset to inject (churn|gwfail|partition|degrade|blackout)")
+		strandedKill = flag.Bool("strandedkill", false, "routing: remove stranded agents instead of respawning them")
 		metricsFile  = flag.String("metrics", "", "dump the whole-sweep metrics snapshot to this file (Prometheus text; .json for JSON)")
 		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while sweeping")
 	)
@@ -74,10 +79,15 @@ func main() {
 		runs: *runs, seed: *seed,
 		workers: *workers, runWorkers: *runWorkers, shardWorkers: *shardWorkers,
 		pointWorkers: *pointWorkers,
-		reg:          reg,
+		faultPreset:  *faultPreset, strandedKill: *strandedKill,
+		reg: reg,
 	}
 	switch *scenario {
 	case "mapping":
+		if cfg.faultPreset != "" {
+			err = fmt.Errorf("-faults is only supported for -scenario routing")
+			break
+		}
 		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, cfg)
 	case "routing":
 		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, cfg)
@@ -104,6 +114,8 @@ type sweepConfig struct {
 	runWorkers   int
 	shardWorkers int
 	pointWorkers int
+	faultPreset  string
+	strandedKill bool
 	reg          *metrics.Registry
 }
 
@@ -234,10 +246,26 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 	default:
 		return fmt.Errorf("unknown routing policy %q", policy)
 	}
+	const steps = 300
 	worldFor := func(int) (*network.World, error) {
 		return netgen.Generate(netgen.Routing250(), cfg.seed)
 	}
-	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,runs,moves,meetings,deposits,adoptions\n", param)
+	// One immutable schedule drives every point and run: the fault workload
+	// is held fixed while the swept parameter varies.
+	var sched *faults.Schedule
+	if cfg.faultPreset != "" {
+		probe, err := worldFor(0)
+		if err != nil {
+			return err
+		}
+		sched, err = faults.Preset(cfg.faultPreset, probe.N(), probe.Gateways(), steps, cfg.seed)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,stale_mean,"+
+		"reconv_mean,reconv_e2e_mean,floor_mean,floor_e2e_mean,recovered,censored,stranded,"+
+		"runs,moves,meetings,deposits,adoptions\n", param)
 	pool := parallel.NewPool(cfg.pointWorkers)
 	em := newEmitter(len(vals), cfg.reg)
 	return pool.Run(len(vals), func(i int) error {
@@ -245,8 +273,12 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		preg := metrics.NewRegistry()
 		sc := routing.Scenario{
 			Agents: 100, Kind: kind, Communicate: communicate, Stigmergy: stigmergy,
+			Steps: steps, Faults: sched,
 			Workers: cfg.workers, RunWorkers: cfg.runWorkers,
 			ShardWorkers: cfg.shardWorkers, Metrics: preg,
+		}
+		if cfg.strandedKill {
+			sc.StrandedPolicy = routing.StrandedKill
 		}
 		switch param {
 		case "agents":
@@ -263,9 +295,11 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		d := counterValues(preg.Snapshot(nil),
 			"routing_moves_total", "routing_meetings_total",
 			"routing_deposits_total", "routing_route_adoptions_total")
-		em.emit(i, fmt.Sprintf("%g,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
-			v, agg.Mean.Mean, agg.Mean.CI, agg.EndToEnd.Mean, agg.Stability, agg.Runs,
-			d[0], d[1], d[2], d[3]), preg)
+		em.emit(i, fmt.Sprintf("%g,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f,%.2f,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			v, agg.Mean.Mean, agg.Mean.CI, agg.EndToEnd.Mean, agg.Stability,
+			agg.MeanStaleness, agg.Reconv.Mean, agg.ReconvE2E.Mean,
+			agg.Floor.Mean, agg.FloorE2E.Mean, agg.Recovered, agg.Censored, agg.Stranded,
+			agg.Runs, d[0], d[1], d[2], d[3]), preg)
 		return nil
 	})
 }

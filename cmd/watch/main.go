@@ -7,6 +7,7 @@
 //	go run ./cmd/watch                       # defaults: 100 oldest-node agents
 //	go run ./cmd/watch -communicate          # watch the Fig 11 chasing collapse
 //	go run ./cmd/watch -communicate -stigmergy
+//	go run ./cmd/watch -faults blackout      # watch churn + gateway failures + a partition
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
@@ -37,6 +39,7 @@ func main() {
 		rows         = flag.Int("rows", 24, "heat map rows")
 		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (frames are identical at any value)")
+		faultPreset  = flag.String("faults", "", "fault preset to inject (churn|gwfail|partition|degrade|blackout)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,15 @@ func main() {
 		fmt.Printf("serving metrics/expvar/pprof on http://%s\n", addr)
 	}
 
+	var sched *faults.Schedule
+	if *faultPreset != "" {
+		sched, err = faults.Preset(*faultPreset, w.N(), w.Gateways(), *steps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "watch:", err)
+			os.Exit(2)
+		}
+	}
+
 	var series []float64
 	var snap metrics.Snapshot
 	sc := routing.Scenario{
@@ -69,6 +81,7 @@ func main() {
 		Stigmergy:    *stigmergy,
 		Steps:        *steps,
 		ShardWorkers: *shardWorkers,
+		Faults:       sched,
 		Metrics:      reg,
 		Observer: func(step int, w *network.World, tables *routing.Tables) {
 			series = append(series, routing.LocalConnectivity(w, tables))
@@ -95,6 +108,16 @@ func main() {
 				snap.Counter("routing_deposits_total"), snap.Counter("routing_route_adoptions_total"),
 				snap.Counter("routing_route_evictions_total"),
 				snap.Counter("world_links_added_total"), snap.Counter("world_links_removed_total"))
+			if sched != nil {
+				part := ""
+				if _, active := w.Partition(); active {
+					part = "  PARTITION ACTIVE"
+				}
+				fmt.Printf("faults:  injected=%d recovered=%d nodes_down=%.0f stranded=%d purged=%d%s\n",
+					snap.Counter("faults_injected_total"), snap.Counter("faults_recovered_total"),
+					snap.Gauge("faults_nodes_down"), snap.Counter("faults_stranded_agents_total"),
+					snap.Counter("faults_routes_purged_total"), part)
+			}
 			time.Sleep(*delay)
 		},
 	}

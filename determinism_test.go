@@ -223,3 +223,53 @@ func TestMetricsPreserveDeterminism(t *testing.T) {
 		}
 	})
 }
+
+// TestRoutingChurnResultPinned pins a fully faulted run — the "blackout"
+// preset layers node churn, a gateway-failure window, and a partition over
+// the canonical 250-node network — so the whole fault path (schedule
+// expansion, masked topology maintenance, table purges, stranded-agent
+// respawn, recovery statistics) is bit-stable. Any change to fault
+// ordering, RNG stream layout, or the alive-mask stepping paths moves
+// these values.
+func TestRoutingChurnResultPinned(t *testing.T) {
+	w, err := agentmesh.RoutingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := agentmesh.FaultPreset("blackout", w.N(), w.Gateways(), 300, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := agentmesh.RoutingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agentmesh.RunRouting(w2, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+		Faults: sched,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinF64(t, "Mean", res.Mean, 0.52206638509669656)
+	pinF64(t, "MeanStaleness", res.MeanStaleness, 38.500025574804162)
+	pinF64(t, "weightedSum(Connectivity)", weightedSum(res.Connectivity), 25103.32629180299)
+	pinF64(t, "weightedSum(Ideal)", weightedSum(res.Ideal), 44304.906462729938)
+	pinF64(t, "weightedSum(Staleness)", weightedSum(res.Staleness), 1522505.7414287091)
+	if res.Stranded != 19 {
+		t.Errorf("Stranded = %d, pinned 19", res.Stranded)
+	}
+	if len(res.Recovery.Events) != 17 || res.Recovery.Recovered != 17 {
+		t.Errorf("Recovery events=%d recovered=%d, pinned 17/17",
+			len(res.Recovery.Events), res.Recovery.Recovered)
+	}
+	pinF64(t, "Recovery.Floor", res.Recovery.Floor, 0.36842105263157893)
+	pinF64(t, "RecoveryEndToEnd.MeanSteps", res.RecoveryEndToEnd.MeanSteps, 0.058823529411764705)
+	pinF64(t, "RecoveryEndToEnd.Floor", res.RecoveryEndToEnd.Floor, 0.040540540540540543)
+	if res.Overhead.Moves != 28059 {
+		t.Errorf("Overhead.Moves = %d, pinned 28059", res.Overhead.Moves)
+	}
+	if res.Overhead.RouteDeposits != 4136 {
+		t.Errorf("Overhead.RouteDeposits = %d, pinned 4136", res.Overhead.RouteDeposits)
+	}
+}

@@ -208,6 +208,8 @@ var registry = map[string]struct {
 	"extI":  {"ablation: radio-range heterogeneity (Minar's env vs the paper's)", extI},
 	"extJ":  {"comparison: deliberate agents vs ant colony vs distance-vector", extJ},
 	"extK":  {"ablation: node placement (uniform vs clustered vs grid)", extK},
+	"extL":  {"robustness: node churn — graceful degradation and stranded agents", extL},
+	"extM":  {"robustness: gateway failure and partitions — reconvergence", extM},
 }
 
 // IDs returns the registered experiment IDs in a stable order.

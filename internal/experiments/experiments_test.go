@@ -14,7 +14,8 @@ func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "fig11",
-		"extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI", "extJ", "extK"}
+		"extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI", "extJ", "extK",
+		"extL", "extM"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

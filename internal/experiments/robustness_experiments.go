@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/netgen"
+	"repro/internal/routing"
+)
+
+// Robustness studies: run the canonical MANET routing workload under the
+// deterministic fault schedules (internal/faults) and report the
+// graceful-degradation measures — connectivity floor during a fault
+// window, time-to-reconvergence, route staleness, and stranded agents.
+// The end-to-end (E2E) columns are the informative ones: the headline
+// local-connectivity metric recovers almost instantly because agents only
+// need a live next hop, while severed gateway paths register fully in the
+// end-to-end series.
+
+// faultedSetting expands one named fault preset against the canonical
+// 250-node MANET geometry and runs the routing workload under it.
+func faultedSetting(cfg Config, label, preset string, sc routing.Scenario) (routing.Aggregate, error) {
+	if preset != "" {
+		probe, err := netgen.Generate(netgen.Routing250(), cfg.Seed)
+		if err != nil {
+			return routing.Aggregate{}, err
+		}
+		sched, err := faults.Preset(preset, probe.N(), probe.Gateways(),
+			sc.Steps, seedFor(cfg.Seed, "faults/"+label))
+		if err != nil {
+			return routing.Aggregate{}, err
+		}
+		sc.Faults = sched
+	}
+	return routeSetting(cfg, label, sc)
+}
+
+var robustnessColumns = []string{
+	"setting", "connectivity", "end-to-end", "staleness",
+	"reconv e2e", "floor e2e", "recovered", "stranded",
+}
+
+func robustnessRow(name string, agg routing.Aggregate) []string {
+	return []string{
+		name,
+		f3(agg.Mean.Mean) + "±" + f3(agg.Mean.CI),
+		f3(agg.EndToEnd.Mean),
+		f1(agg.MeanStaleness),
+		f1(agg.ReconvE2E.Mean),
+		f3(agg.FloorE2E.Mean),
+		fmt.Sprintf("%d/%d", agg.Recovered, agg.Recovered+agg.Censored),
+		fmt.Sprintf("%d", agg.Stranded),
+	}
+}
+
+// extL — node churn: nodes die and revive (some respawning elsewhere)
+// while 100 oldest-node agents maintain gateway routes. Compares the
+// clean baseline against churn under both stranded-agent policies.
+func extL(cfg Config) (Report, error) {
+	const steps = 300
+	base := routing.Scenario{Agents: 100, Kind: core.PolicyOldestNode,
+		Communicate: true, Steps: steps}
+
+	clean, err := faultedSetting(cfg, "extL/clean", "", base)
+	if err != nil {
+		return Report{}, err
+	}
+	respawn := base
+	respawn.StrandedPolicy = routing.StrandedRespawn
+	churnR, err := faultedSetting(cfg, "extL/churn", "churn", respawn)
+	if err != nil {
+		return Report{}, err
+	}
+	kill := base
+	kill.StrandedPolicy = routing.StrandedKill
+	churnK, err := faultedSetting(cfg, "extL/churn-kill", "churn", kill)
+	if err != nil {
+		return Report{}, err
+	}
+
+	return Report{
+		PaperClaim: "the agent system is robust to node churn: connectivity degrades gracefully and reconverges after each death wave (extension; the paper only varies battery drain)",
+		Params: fmt.Sprintf("250-node MANET, 100 oldest-node agents, churn preset, %d steps, %d runs",
+			steps, cfg.Runs),
+		Table: Table{Columns: robustnessColumns, Rows: [][]string{
+			robustnessRow("no faults", clean),
+			robustnessRow("churn, respawn stranded", churnR),
+			robustnessRow("churn, kill stranded", churnK),
+		}},
+		Series: []Series{
+			{Name: "clean", Values: clean.AvgSeries},
+			{Name: "churn-respawn", Values: churnR.AvgSeries},
+			{Name: "churn-kill", Values: churnK.AvgSeries},
+		},
+		Checks: []Check{
+			check("churn strands agents", churnR.Stranded > 0,
+				"respawn policy handled %d stranded agents", churnR.Stranded),
+			check("fault events reconverge", churnR.Recovered > 0,
+				"%d of %d events recovered, mean %.1f steps (e2e)",
+				churnR.Recovered, churnR.Recovered+churnR.Censored, churnR.ReconvE2E.Mean),
+			check("degradation is graceful", churnR.Mean.Mean > 0.5*clean.Mean.Mean,
+				"churn mean %.3f vs clean %.3f", churnR.Mean.Mean, clean.Mean.Mean),
+			check("respawn outperforms kill", churnR.Mean.Mean >= churnK.Mean.Mean-0.02,
+				"respawn %.3f vs kill %.3f", churnR.Mean.Mean, churnK.Mean.Mean),
+		},
+	}, nil
+}
+
+// extM — gateway failure and partitions: infrastructure-level faults.
+// Gateway outages remove routing destinations, partitions sever every
+// link across a vertical cut, and the blackout preset combines both with
+// churn. The end-to-end floor and reconvergence columns show how far
+// service drops and how fast the agents repair the tables.
+func extM(cfg Config) (Report, error) {
+	const steps = 300
+	base := routing.Scenario{Agents: 100, Kind: core.PolicyOldestNode,
+		Communicate: true, Steps: steps}
+
+	clean, err := faultedSetting(cfg, "extM/clean", "", base)
+	if err != nil {
+		return Report{}, err
+	}
+	gwfail, err := faultedSetting(cfg, "extM/gwfail", "gwfail", base)
+	if err != nil {
+		return Report{}, err
+	}
+	part, err := faultedSetting(cfg, "extM/partition", "partition", base)
+	if err != nil {
+		return Report{}, err
+	}
+	blackout, err := faultedSetting(cfg, "extM/blackout", "blackout", base)
+	if err != nil {
+		return Report{}, err
+	}
+
+	return Report{
+		PaperClaim: "agents repair routing state after gateway failures and network partitions without any global coordination (extension; graceful-degradation study)",
+		Params: fmt.Sprintf("250-node MANET, 100 oldest-node agents, gwfail/partition/blackout presets, %d steps, %d runs",
+			steps, cfg.Runs),
+		Table: Table{Columns: robustnessColumns, Rows: [][]string{
+			robustnessRow("no faults", clean),
+			robustnessRow("gateway failures", gwfail),
+			robustnessRow("partition", part),
+			robustnessRow("blackout (all faults)", blackout),
+		}},
+		Series: []Series{
+			{Name: "clean", Values: clean.AvgSeries},
+			{Name: "gwfail", Values: gwfail.AvgSeries},
+			{Name: "partition", Values: part.AvgSeries},
+			{Name: "blackout", Values: blackout.AvgSeries},
+		},
+		Checks: []Check{
+			check("gateway failures dent end-to-end service", gwfail.FloorE2E.Mean < gwfail.EndToEnd.Mean,
+				"gwfail e2e floor %.3f vs its run mean %.3f", gwfail.FloorE2E.Mean, gwfail.EndToEnd.Mean),
+			check("partitions dent end-to-end service", part.FloorE2E.Mean < part.EndToEnd.Mean,
+				"partition e2e floor %.3f vs its run mean %.3f", part.FloorE2E.Mean, part.EndToEnd.Mean),
+			check("faults reconverge", gwfail.Recovered > 0 && part.Recovered > 0,
+				"gwfail %d recovered, partition %d recovered", gwfail.Recovered, part.Recovered),
+			check("blackout is the hardest setting", blackout.FloorE2E.Mean <= gwfail.FloorE2E.Mean+0.05,
+				"blackout e2e floor %.3f vs gwfail %.3f", blackout.FloorE2E.Mean, gwfail.FloorE2E.Mean),
+		},
+	}, nil
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleAt(t *testing.T) {
+	s := NewSchedule([]Event{
+		{Step: 30, Kind: NodeUp, Node: 4},
+		{Step: 10, Kind: NodeDown, Node: 4},
+		{Step: 10, Kind: NodeDown, Node: 7},
+		{Step: 20, Kind: PartitionStart, Factor: 0.5},
+	})
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := s.At(10); len(got) != 2 || got[0].Node != 4 || got[1].Node != 7 {
+		t.Fatalf("At(10) = %+v, want the two step-10 events in authoring order", got)
+	}
+	if got := s.At(15); got != nil {
+		t.Fatalf("At(15) = %+v, want nil", got)
+	}
+	if got := s.At(30); len(got) != 1 || got[0].Kind != NodeUp {
+		t.Fatalf("At(30) = %+v, want the node-up event", got)
+	}
+	if got := s.Steps(); !reflect.DeepEqual(got, []int{10, 20, 30}) {
+		t.Fatalf("Steps = %v, want [10 20 30]", got)
+	}
+}
+
+func TestNilScheduleIsEmpty(t *testing.T) {
+	var s *Schedule
+	if s.Len() != 0 || s.At(1) != nil || s.Steps() != nil || s.Events() != nil {
+		t.Fatal("nil schedule must behave as empty")
+	}
+}
+
+func TestPlanBuildDeterministic(t *testing.T) {
+	p := Plan{
+		ChurnStart: 20, ChurnEvery: 15, ChurnKills: 3, ChurnDowntime: 10,
+		RespawnElsewhere: true,
+		GatewayFailStep:  40, GatewayKills: 1, GatewayDowntime: 25,
+		PartitionStep: 50, PartitionHeal: 30,
+		DegradeStep: 25, DegradeCount: 4, DegradeRestore: 20, DegradeFactor: 0.4,
+	}
+	gws := []int32{0, 1}
+	a := p.Build(50, gws, 100, 7)
+	b := p.Build(50, gws, 100, 7)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same (plan, seed) built different schedules")
+	}
+	c := p.Build(50, gws, 100, 8)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatal("different seeds built identical schedules (victim choice not seeded?)")
+	}
+	if a.Len() == 0 {
+		t.Fatal("plan built an empty schedule")
+	}
+}
+
+func TestPlanNeverKillsGateways(t *testing.T) {
+	p := Plan{ChurnStart: 5, ChurnEvery: 5, ChurnKills: 4, ChurnDowntime: 3}
+	gws := []int32{0, 3, 9}
+	isGW := map[int32]bool{0: true, 3: true, 9: true}
+	s := p.Build(10, gws, 60, 99)
+	for _, e := range s.Events() {
+		if (e.Kind == NodeDown || e.Kind == NodeUp) && isGW[e.Node] {
+			t.Fatalf("churn event targets gateway %d: %+v", e.Node, e)
+		}
+	}
+}
+
+func TestPlanChurnRespawnPairsUp(t *testing.T) {
+	p := Plan{ChurnStart: 10, ChurnEvery: 20, ChurnKills: 2, ChurnDowntime: 8, RespawnElsewhere: true}
+	s := p.Build(30, []int32{0}, 100, 5)
+	down := map[int32]int{}
+	for _, e := range s.Events() {
+		switch e.Kind {
+		case NodeDown:
+			down[e.Node]++
+		case NodeUp:
+			if down[e.Node] == 0 {
+				t.Fatalf("node %d revived without dying first", e.Node)
+			}
+			down[e.Node]--
+			if !e.Respawn {
+				t.Fatalf("RespawnElsewhere plan produced in-place revival: %+v", e)
+			}
+			if e.RX < 0 || e.RX > 1 || e.RY < 0 || e.RY > 1 {
+				t.Fatalf("respawn fractions out of [0,1]: %+v", e)
+			}
+		}
+	}
+	for u, c := range down {
+		if c != 0 {
+			t.Fatalf("node %d left permanently down despite ChurnDowntime > 0", u)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	gws := []int32{0, 1, 2}
+	for _, name := range PresetNames() {
+		s, err := Preset(name, 100, gws, 300, 11)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("Preset(%q) built an empty schedule", name)
+		}
+		for _, e := range s.Events() {
+			if e.Step <= 0 {
+				t.Fatalf("Preset(%q) scheduled event at non-positive step: %+v", name, e)
+			}
+		}
+	}
+	if _, err := Preset("nope", 100, gws, 300, 11); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}

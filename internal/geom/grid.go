@@ -73,7 +73,14 @@ func (g *Grid) cellIndex(p Point) int {
 
 // Rebuild clears the grid and inserts every position in pos, which is
 // indexed by item ID. The slice is copied into the grid's own storage.
-func (g *Grid) Rebuild(pos []Point) {
+func (g *Grid) Rebuild(pos []Point) { g.RebuildMasked(pos, nil) }
+
+// RebuildMasked is Rebuild with an exclusion mask: items with omit[id] set
+// are left out of every cell bucket — queries cannot see them — but their
+// positions are still recorded, so Pos keeps answering for excluded items
+// (world fault injection uses this to make dead nodes invisible without
+// losing track of where they froze). A nil omit excludes nothing.
+func (g *Grid) RebuildMasked(pos []Point, omit []bool) {
 	for _, ci := range g.occupied {
 		g.cells[ci] = g.cells[ci][:0]
 		g.inOcc[ci] = false
@@ -85,6 +92,9 @@ func (g *Grid) Rebuild(pos []Point) {
 	g.pos = g.pos[:len(pos)]
 	copy(g.pos, pos)
 	for id, p := range pos {
+		if omit != nil && omit[id] {
+			continue
+		}
 		ci := g.cellIndex(p)
 		if !g.inOcc[ci] {
 			g.inOcc[ci] = true

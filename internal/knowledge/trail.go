@@ -65,6 +65,15 @@ func (t *Trail) ResetAt(gw NodeID) {
 	t.anchored = true
 }
 
+// Clear empties the trail and drops the anchor — the state of an agent
+// that has never seen a gateway. Respawned agents (teleported off a dead
+// node by fault handling) clear their trail: the recorded walk no longer
+// connects to their new position, so deposits from it would be bogus.
+func (t *Trail) Clear() {
+	t.nodes = t.nodes[:0]
+	t.anchored = false
+}
+
 // Extend records a move onto node v. Loops are compacted; when the bounded
 // history overflows, the oldest node (the gateway end) is dropped and the
 // trail becomes unanchored.

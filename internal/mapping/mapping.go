@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/parallel"
@@ -77,6 +78,14 @@ type Scenario struct {
 	// on it; shard workers draw from the same parallel budget as
 	// RunWorkers and degrade to sequential when the budget is claimed.
 	ShardWorkers int
+	// Faults, if set, is a fault schedule attached to the world before
+	// the run (see internal/faults). The mapping reaction is minimal:
+	// agents caught on a node killed by churn are respawned on a
+	// uniformly random alive node with their knowledge intact — the map
+	// is software state and survives the crash. Note that completion may
+	// become unreachable while parts of the network stay dead; MaxSteps
+	// still bounds the run.
+	Faults *faults.Schedule
 	// Tracer, if set, receives structured events (moves, meetings,
 	// per-step knowledge). Events are emitted from sequential sections,
 	// so traces are reproducible with Workers <= 1.
@@ -238,6 +247,9 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 	if sc.ShardWorkers > 0 {
 		w.SetShardWorkers(sc.ShardWorkers)
 	}
+	if sc.Faults != nil {
+		w.SetFaults(sc.Faults)
+	}
 	root := rng.New(seed).Named("mapping")
 	agents, err := placeAgents(w, sc, root)
 	if err != nil {
@@ -259,8 +271,24 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 	w.Instrument(sc.Metrics)
 	m.runs.Inc()
 
+	var faultRng *rng.Stream
+	lastEpoch := 0
+	if sc.Faults != nil {
+		faultRng = root.Named("faults")
+		lastEpoch = w.FaultEpoch()
+	}
+
 	steps, completed := sim.Run(sc.MaxSteps, func(step int) bool {
 		m.steps.Inc()
+		// Fault reaction: respawn agents stranded on nodes that died during
+		// the previous world step. Sequential, so deterministic at any
+		// worker setting.
+		if sc.Faults != nil {
+			if ep := w.FaultEpoch(); ep != lastEpoch {
+				lastEpoch = ep
+				respawnStranded(w, agents, faultRng, sc.Tracer, step)
+			}
+		}
 		// Phase 1: first-hand learning + visit recording (independent).
 		sp := m.learn.Start()
 		engine.ForEach(len(agents), func(i int) {
@@ -562,4 +590,37 @@ func (r Result) MeetingRate() float64 {
 		return 0
 	}
 	return float64(r.Overhead.Meetings) / float64(r.Overhead.Moves)
+}
+
+// respawnStranded teleports every agent standing on a dead node to a
+// uniformly random alive node, drawn from the run's dedicated fault
+// stream over the ascending alive-node list. Knowledge is kept — the map
+// is software state. With nothing alive to land on, agents stay put (a
+// dead node has no out-edges, so they idle until the world recovers).
+func respawnStranded(w *network.World, agents []*core.Agent, frng *rng.Stream, tr trace.Tracer, step int) {
+	var aliveNodes []NodeID
+	moved := 0
+	for _, a := range agents {
+		if w.Alive(a.At) {
+			continue
+		}
+		if aliveNodes == nil {
+			for u := 0; u < w.N(); u++ {
+				if w.Alive(NodeID(u)) {
+					aliveNodes = append(aliveNodes, NodeID(u))
+				}
+			}
+		}
+		if len(aliveNodes) == 0 {
+			return
+		}
+		a.At = aliveNodes[frng.Intn(len(aliveNodes))]
+		moved++
+	}
+	if moved > 0 && tr != nil {
+		tr.Emit(trace.Event{
+			Step: step, Kind: trace.KindFault,
+			Value: float64(moved), Extra: "stranded-respawn",
+		})
+	}
 }

@@ -169,42 +169,14 @@ func (w *World) initIncremental(movers []mobility.Mover) {
 			continue
 		}
 		t.decaySrcs = append(t.decaySrcs, int32(u))
-		r := w.radios[u].Range()
-		if r <= 0 {
-			continue
-		}
-		dc := decayCursor{src: NodeID(u)}
-		w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
-		for _, v := range w.nbrBuf {
-			if t.isMobile[v] {
-				continue
-			}
-			dc.dst = append(dc.dst, v)
-			dc.d2 = append(dc.d2, w.pos[u].Dist2(w.pos[v]))
-		}
-		if len(dc.dst) == 0 {
-			continue
-		}
-		// Descending distance with an id tie-break keeps the removal tape
-		// deterministic; equal-distance targets drop in the same step
-		// anyway, so the tie-break never reaches observable state.
-		slices.SortFunc(dc.dst, func(a, b NodeID) int {
-			da, db := w.pos[u].Dist2(w.pos[a]), w.pos[u].Dist2(w.pos[b])
-			switch {
-			case da > db:
-				return -1
-			case da < db:
-				return 1
-			default:
-				return int(a - b)
-			}
-		})
-		for i, v := range dc.dst {
-			dc.d2[i] = w.pos[u].Dist2(w.pos[v])
-		}
-		t.decay = append(t.decay, dc)
+		// One cursor per source, even when its target list is currently
+		// empty: t.decay indices stay aligned with decaySrcs forever, which
+		// the shard cursor partition and the fault-resync cursor rebuild
+		// rely on (an empty cursor is a no-op).
+		t.decay = append(t.decay, decayCursor{src: NodeID(u)})
 	}
 	w.incr = t
+	w.fillDecayCursors()
 	w.rebuildInLists()
 	// Pre-size the steady-state growth points so maintenance settles into
 	// zero allocations at any n, not just small worlds: class-4 in-source
@@ -243,14 +215,68 @@ func (w *World) rebuildInLists() {
 	}
 }
 
+// fillDecayCursors (re)derives every class-2 cursor's target list from the
+// CURRENT world state: the source's static in-range targets by descending
+// distance, cursor at the start. Runs at init and on fault resyncs — fault
+// events can grow a range back (RadioRestore) or teleport a static node
+// (respawn), both of which invalidate a cursor's never-rewind premise; a
+// rebuilt cursor restores it, since between fault steps ranges only shrink.
+// Entries keep their slot (one per decay source), so indices held by shard
+// cursor partitions stay valid. Dead sources get an empty list: they have
+// no out-edges to expire, and revival is itself a fault resync.
+func (w *World) fillDecayCursors() {
+	t := w.incr
+	for i := range t.decay {
+		dc := &t.decay[i]
+		dc.dst = dc.dst[:0]
+		dc.d2 = dc.d2[:0]
+		dc.cursor = 0
+		u := int(dc.src)
+		if w.flt != nil && w.flt.dead[u] {
+			continue
+		}
+		r := w.radios[u].Range()
+		if r <= 0 {
+			continue
+		}
+		w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
+		for _, v := range w.nbrBuf {
+			if t.isMobile[v] {
+				continue
+			}
+			dc.dst = append(dc.dst, v)
+		}
+		// Descending distance with an id tie-break keeps the removal tape
+		// deterministic; equal-distance targets drop in the same step
+		// anyway, so the tie-break never reaches observable state.
+		slices.SortFunc(dc.dst, func(a, b NodeID) int {
+			da, db := w.pos[u].Dist2(w.pos[a]), w.pos[u].Dist2(w.pos[b])
+			switch {
+			case da > db:
+				return -1
+			case da < db:
+				return 1
+			default:
+				return int(a - b)
+			}
+		})
+		for _, v := range dc.dst {
+			dc.d2 = append(dc.d2, w.pos[u].Dist2(w.pos[v]))
+		}
+	}
+}
+
 // resyncAfterFullRebuild refreshes the squared-range cache (batteries
-// drained while full-rebuild steps ran; the grid was rebuilt by those
-// steps already) and the class-4 lists.
+// drained — and fault events may have degraded or restored any radio —
+// while full-rebuild steps ran; the grid was rebuilt by those steps
+// already), the class-2 decay cursors, and the class-4 lists.
 func (w *World) resyncAfterFullRebuild() {
 	t := w.incr
-	for _, id := range t.decayIds {
-		t.r2[id].cur = sqOrNeg(w.radios[id].Range())
+	for u := range t.r2 {
+		r2 := sqOrNeg(w.radios[u].Range())
+		t.r2[u] = rangeR2{prev: r2, cur: r2}
 	}
+	w.fillDecayCursors()
 	w.rebuildInLists()
 }
 
@@ -264,13 +290,23 @@ func (w *World) stepIncremental() {
 		t.stale = false
 	}
 	sp := w.m.mobility.Start()
-	w.fleet.Step(w.pos)
+	var dead []bool
+	if w.flt != nil {
+		dead = w.flt.dead
+	}
 	maxDisp2 := 0.0
 	for _, id := range t.mobile {
+		// Dead nodes freeze: mover not stepped (RNG pauses), position
+		// unchanged — identical to the full-rebuild and sharded paths.
+		if dead != nil && dead[id] {
+			t.moved[id] = false
+			continue
+		}
 		// The grid stores each node's position as of its last Update, i.e.
 		// the pre-step position — the movement detector and the snapshot
 		// for this step's "had" predicates in one place.
 		old := w.grid.Pos(id)
+		w.pos[id] = w.fleet.StepOne(int(id), w.pos[id])
 		if w.pos[id] == old {
 			t.moved[id] = false
 			continue

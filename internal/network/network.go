@@ -64,6 +64,11 @@ type World struct {
 	fullRebuild bool
 	shard       *shardState
 
+	// flt, when non-nil, is the fault-injection runtime (see faults.go):
+	// alive mask, gateway service mask, partition cut, and the schedule
+	// driving them.
+	flt *faultState
+
 	m        worldMetrics
 	diffMark []int32 // per-node stamp scratch for the instrumented edge diff
 	diffGen  int32
@@ -79,6 +84,10 @@ type worldMetrics struct {
 	linksAdded   metrics.Counter
 	linksRemoved metrics.Counter
 	edges        metrics.Gauge
+
+	faultsInjected  metrics.Counter
+	faultsRecovered metrics.Counter
+	faultsNodesDown metrics.Gauge
 }
 
 // Instrument registers the World's per-step phase timers (mobility, radio
@@ -97,8 +106,15 @@ func (w *World) Instrument(r *metrics.Registry) {
 		linksAdded:   r.Counter("world_links_added_total"),
 		linksRemoved: r.Counter("world_links_removed_total"),
 		edges:        r.Gauge("world_edges"),
+
+		faultsInjected:  r.Counter("faults_injected_total"),
+		faultsRecovered: r.Counter("faults_recovered_total"),
+		faultsNodesDown: r.Gauge("faults_nodes_down"),
 	}
 	w.m.edges.Set(float64(w.topo.M()))
+	if w.flt != nil {
+		w.m.faultsNodesDown.Set(float64(w.N() - w.flt.aliveCount))
+	}
 }
 
 // NewWorld validates cfg and builds the initial topology.
@@ -178,12 +194,24 @@ func (w *World) Positions() []geom.Point {
 // Radio returns a copy of node u's radio state.
 func (w *World) Radio(u NodeID) radio.Radio { return w.radios[u] }
 
-// Gateways returns the gateway node IDs. Callers must not modify the
-// returned slice.
-func (w *World) Gateways() []NodeID { return w.gateways }
+// Gateways returns the gateway node IDs currently in service: under fault
+// injection, dead or failed gateways are excluded. Callers must not modify
+// the returned slice.
+func (w *World) Gateways() []NodeID {
+	if w.flt != nil {
+		return w.flt.activeGW
+	}
+	return w.gateways
+}
 
-// IsGateway reports whether u is a gateway.
-func (w *World) IsGateway(u NodeID) bool { return w.isGateway[u] }
+// IsGateway reports whether u is a gateway currently in service (dead and
+// failed gateways do not count as route targets).
+func (w *World) IsGateway(u NodeID) bool {
+	if w.flt != nil && (w.flt.dead[u] || w.flt.gwDown[u]) {
+		return false
+	}
+	return w.isGateway[u]
+}
 
 // Topology returns the current directed topology. The returned graph is
 // owned by the World and valid until the next Step; callers must not
@@ -204,6 +232,20 @@ func (w *World) Neighbors(u NodeID) []NodeID { return w.topo.Out(u) }
 func (w *World) Step() {
 	w.step++
 	w.m.steps.Inc()
+	if f := w.flt; f != nil {
+		// Fault steps — and every step while a partition is active on a
+		// dynamic world — run the mask-aware full rebuild; the incremental
+		// engine resynchronises afterwards through its stale flag.
+		if evs := f.sched.At(w.step); len(evs) > 0 {
+			w.applyFaults(evs)
+			w.stepFullRebuild()
+			return
+		}
+		if f.partActive && w.dynamic {
+			w.stepFullRebuild()
+			return
+		}
+	}
 	if !w.dynamic {
 		return
 	}
@@ -231,7 +273,18 @@ func (w *World) SetFullRebuild(on bool) { w.fullRebuild = on }
 // the whole topology from the grid.
 func (w *World) stepFullRebuild() {
 	sp := w.m.mobility.Start()
-	w.fleet.Step(w.pos)
+	if w.flt == nil {
+		w.fleet.Step(w.pos)
+	} else {
+		// Dead nodes freeze: their movers are not stepped, so their RNG
+		// streams pause — exactly as the incremental and sharded paths skip
+		// them — and resume from the same state on revival.
+		for i := range w.pos {
+			if !w.flt.dead[i] {
+				w.pos[i] = w.fleet.StepOne(i, w.pos[i])
+			}
+		}
+	}
 	sp.Stop()
 	sp = w.m.decay.Start()
 	for i := range w.radios {
@@ -267,13 +320,45 @@ func (w *World) rebuildTopology() {
 		w.topoBuf[w.topoIdx] = g
 	}
 	g.Reset(n)
-	w.grid.Rebuild(w.pos)
+	f := w.flt
+	if f == nil {
+		w.grid.Rebuild(w.pos)
+		for u := 0; u < n; u++ {
+			r := w.radios[u].Range()
+			if r <= 0 {
+				continue
+			}
+			w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
+			g.SetOut(NodeID(u), w.nbrBuf)
+		}
+		w.topo = g
+		return
+	}
+	// Fault-aware rebuild: dead nodes are omitted from the grid (queries
+	// cannot see them, so they receive no links) and skipped as sources (so
+	// they emit none); an active partition drops every neighbour on the far
+	// side of the cut. A fully dead world degenerates to an empty grid and
+	// an edgeless graph — no scan runs at all.
+	w.grid.RebuildMasked(w.pos, f.dead)
 	for u := 0; u < n; u++ {
+		if f.dead[u] {
+			continue
+		}
 		r := w.radios[u].Range()
 		if r <= 0 {
 			continue
 		}
 		w.nbrBuf = w.grid.Within(w.pos[u], r, u, w.nbrBuf[:0])
+		if f.partActive {
+			side := w.pos[u].X >= f.partX
+			kept := w.nbrBuf[:0]
+			for _, v := range w.nbrBuf {
+				if (w.pos[v].X >= f.partX) == side {
+					kept = append(kept, v)
+				}
+			}
+			w.nbrBuf = kept
+		}
 		g.SetOut(NodeID(u), w.nbrBuf)
 	}
 	w.topo = g
@@ -331,13 +416,20 @@ func (w *World) recordLinkChurn(old, cur *graph.Directed) {
 // metric; the routing scenario measures the same fraction over
 // agent-maintained tables instead.
 func (w *World) ConnectivityToGateways() float64 {
-	if len(w.gateways) == 0 {
+	// Degenerate worlds short-circuit to 0: no in-service gateways (none
+	// configured, or all dead/failed) or no alive nodes at all.
+	gws := w.Gateways()
+	if len(gws) == 0 {
 		return 0
 	}
-	reach := w.topo.CanReachSetScratch(w.gateways, &w.reach)
+	f := w.flt
+	if f != nil && f.aliveCount == 0 {
+		return 0
+	}
+	reach := w.topo.CanReachSetScratch(gws, &w.reach)
 	nonGateway, connected := 0, 0
 	for u := 0; u < w.N(); u++ {
-		if w.isGateway[u] {
+		if w.isGateway[u] || (f != nil && f.dead[u]) {
 			continue
 		}
 		nonGateway++

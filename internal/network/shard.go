@@ -152,9 +152,18 @@ func (w *World) stepSharded() {
 	if t.stale {
 		w.resyncAfterFullRebuild()
 		// Full-rebuild interludes moved nodes without maintaining the band
-		// stamps; the grid is current, so re-derive them.
-		for _, id := range t.mobile {
-			st.bandOf[id] = st.colToBand[w.grid.ColOf(w.grid.Pos(id))]
+		// stamps — and fault respawns can teleport even static nodes — so
+		// re-derive every stamp from the grid, then re-partition the decay
+		// cursors to match (cursor row ownership must agree with bandOf).
+		for u := 0; u < w.N(); u++ {
+			st.bandOf[u] = st.colToBand[w.grid.ColOf(w.grid.Pos(int32(u)))]
+		}
+		for b := range st.shards {
+			st.shards[b].cursors = st.shards[b].cursors[:0]
+		}
+		for i := range t.decay {
+			b := st.bandOf[t.decay[i].src]
+			st.shards[b].cursors = append(st.shards[b].cursors, int32(i))
 		}
 		t.stale = false
 	}
@@ -258,7 +267,15 @@ func (w *World) stepSharded() {
 func (w *World) moveShard(b int) {
 	t := w.incr
 	sh := &w.shard.shards[b]
+	var dead []bool
+	if w.flt != nil {
+		dead = w.flt.dead
+	}
 	for _, id := range sh.mobile {
+		if dead != nil && dead[id] {
+			t.moved[id] = false
+			continue
+		}
 		old := w.grid.Pos(id)
 		np := w.fleet.StepOne(int(id), w.pos[id])
 		w.pos[id] = np

@@ -10,41 +10,82 @@ import (
 	"repro/internal/radio"
 )
 
+// SnapshotVersion is the current snapshot format version. Version history:
+//
+//	0/1  unversioned legacy format: arena, positions, ranges, gateways
+//	2    adds fault state: dead nodes, out-of-service gateways, partition
+//
+// Readers accept any version up to the current one (absent fields default
+// to fault-free) and reject newer versions with a clear error instead of
+// silently misparsing them.
+const SnapshotVersion = 2
+
 // Snapshot is a serialisable capture of a world at one instant: node
-// positions, *current* radio ranges, and the gateway set. Loading a
-// snapshot yields a static world with exactly the captured topology —
-// mobility and battery state are deliberately not captured (movers carry
-// RNG state), so snapshots are for sharing fixture networks, not for
-// checkpointing dynamic runs. Dynamic runs are reproduced from
-// (spec, seed) instead. Snapshots are also oblivious to how the world is
-// stepped: all three stepping paths (full rebuild, sequential
+// positions, *current* radio ranges (including any fault degradation), the
+// gateway set, and — when fault injection is active — the fault state
+// (dead nodes, out-of-service gateways, partition cut). Loading a snapshot
+// yields a static world with exactly the captured topology, bit for bit —
+// mobility, battery state and the fault schedule are deliberately not
+// captured (movers carry RNG state), so snapshots are for sharing fixture
+// networks, not for checkpointing dynamic runs. Dynamic runs are reproduced
+// from (spec, seed) instead. Snapshots are also oblivious to how the world
+// is stepped: all three stepping paths (full rebuild, sequential
 // incremental, spatially sharded) maintain bit-identical positions and
-// topology, so a world stepped with any SetShardWorkers setting
-// serialises byte-for-byte the same (pinned by
-// TestSnapshotShardLayoutIndependent).
+// topology, so a world stepped with any SetShardWorkers setting serialises
+// byte-for-byte the same (pinned by TestSnapshotShardLayoutIndependent).
 type Snapshot struct {
+	Version   int          `json:"version"`
 	Arena     geom.Rect    `json:"arena"`
 	Positions []geom.Point `json:"positions"`
 	Ranges    []float64    `json:"ranges"`
 	Gateways  []NodeID     `json:"gateways,omitempty"`
+
+	// Fault state (version >= 2). Dead lists nodes currently down,
+	// DownGateways lists gateways out of service (but alive), and
+	// PartitionX is the active partition's vertical cut, if any.
+	Dead         []NodeID `json:"dead,omitempty"`
+	DownGateways []NodeID `json:"down_gateways,omitempty"`
+	PartitionX   *float64 `json:"partition_x,omitempty"`
 }
 
-// Snapshot captures the world's current geometry.
+// Snapshot captures the world's current geometry and fault state.
 func (w *World) Snapshot() Snapshot {
 	ranges := make([]float64, w.N())
 	for i := range ranges {
 		ranges[i] = w.radios[i].Range()
 	}
-	return Snapshot{
+	s := Snapshot{
+		Version:   SnapshotVersion,
 		Arena:     w.arena,
 		Positions: w.Positions(),
 		Ranges:    ranges,
 		Gateways:  append([]NodeID(nil), w.gateways...),
 	}
+	if f := w.flt; f != nil {
+		for u := 0; u < w.N(); u++ {
+			if f.dead[u] {
+				s.Dead = append(s.Dead, NodeID(u))
+			}
+			if f.gwDown[u] {
+				s.DownGateways = append(s.DownGateways, NodeID(u))
+			}
+		}
+		if f.partActive {
+			x := f.partX
+			s.PartitionX = &x
+		}
+	}
+	return s
 }
 
-// World builds a static world from the snapshot.
+// World builds a static world from the snapshot, re-applying any captured
+// fault state so the restored topology matches the captured one bit for
+// bit.
 func (s Snapshot) World() (*World, error) {
+	if s.Version > SnapshotVersion {
+		return nil, fmt.Errorf("network: snapshot version %d is newer than the supported version %d — rebuild or upgrade",
+			s.Version, SnapshotVersion)
+	}
 	if len(s.Positions) != len(s.Ranges) {
 		return nil, fmt.Errorf("network: snapshot has %d positions but %d ranges",
 			len(s.Positions), len(s.Ranges))
@@ -58,13 +99,22 @@ func (s Snapshot) World() (*World, error) {
 		radios[i] = radio.New(r)
 		movers[i] = mobility.Static{}
 	}
-	return NewWorld(Config{
+	w, err := NewWorld(Config{
 		Arena:     s.Arena,
 		Positions: s.Positions,
 		Radios:    radios,
 		Movers:    movers,
 		Gateways:  s.Gateways,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Dead) > 0 || len(s.DownGateways) > 0 || s.PartitionX != nil {
+		if err := w.restoreFaultState(s.Dead, s.DownGateways, s.PartitionX); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 // WriteSnapshot serialises the world's snapshot as JSON.

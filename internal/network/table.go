@@ -112,6 +112,26 @@ func (t *Table) Clear() {
 	t.entries = t.entries[:0]
 }
 
+// DropIf removes every entry for which drop returns true (swap-remove, so
+// order is not preserved) and reports how many were removed. The routing
+// harness uses it to age out routes through dead next hops and routes to
+// gateways that fell out of service after a fault epoch. Drops do not count
+// as capacity evictions.
+func (t *Table) DropIf(drop func(Entry) bool) int {
+	removed := 0
+	for i := 0; i < len(t.entries); {
+		if drop(t.entries[i]) {
+			last := len(t.entries) - 1
+			t.entries[i] = t.entries[last]
+			t.entries = t.entries[:last]
+			removed++
+			continue
+		}
+		i++
+	}
+	return removed
+}
+
 // Reset returns the table to its just-constructed state with the given
 // capacity, keeping the entry storage: entries are dropped and the
 // eviction count is zeroed. Run-level executors reset pooled tables

@@ -14,11 +14,12 @@ type Radio struct {
 	fraction float64 // remaining battery in [0, 1]
 	decay    float64 // battery fraction lost per step
 	floor    float64 // battery never drains below this fraction
+	jam      float64 // external degradation factor in [0, 1]; 1 = none
 }
 
 // New returns a radio with the given base range that never decays.
 func New(baseRange float64) Radio {
-	return Radio{base: baseRange, fraction: 1, floor: 0}
+	return Radio{base: baseRange, fraction: 1, floor: 0, jam: 1}
 }
 
 // NewBattery returns a radio whose battery drains decayPerStep of its full
@@ -33,11 +34,12 @@ func NewBattery(baseRange, decayPerStep, floorFraction float64) Radio {
 	if floorFraction > 1 {
 		floorFraction = 1
 	}
-	return Radio{base: baseRange, fraction: 1, decay: decayPerStep, floor: floorFraction}
+	return Radio{base: baseRange, fraction: 1, decay: decayPerStep, floor: floorFraction, jam: 1}
 }
 
-// Range returns the current transmission radius.
-func (r Radio) Range() float64 { return r.base * r.fraction }
+// Range returns the current transmission radius: the base range scaled by
+// both the remaining battery and any external degradation.
+func (r Radio) Range() float64 { return r.base * r.fraction * r.jam }
 
 // BaseRange returns the full-battery transmission radius.
 func (r Radio) BaseRange() float64 { return r.base }
@@ -62,6 +64,28 @@ func (r *Radio) Step() {
 // Reaches reports whether a node with this radio at distance d can be
 // heard, i.e. d is within the current range.
 func (r Radio) Reaches(d float64) bool { return d <= r.Range() }
+
+// Degrade scales the radio's range by factor (clamped to [0, 1]) on top of
+// any existing degradation — external interference or damage, independent
+// of battery charge, so it composes with (and survives) battery decay.
+// Degradation never increases range, preserving the invariant that a
+// radio's range stays within its base range.
+func (r *Radio) Degrade(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	r.jam *= factor
+}
+
+// Restore removes all external degradation, returning the range to
+// base × battery fraction.
+func (r *Radio) Restore() { r.jam = 1 }
+
+// Degraded reports whether any external degradation is active.
+func (r Radio) Degraded() bool { return r.jam != 1 }
 
 // Profile describes how a population of radios is sampled. It is the
 // knob set experiments use to build heterogeneous networks.

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/parallel"
@@ -75,6 +76,23 @@ type Scenario struct {
 	// the same parallel budget as RunWorkers and degrade to sequential
 	// when outer run-level parallelism has claimed it.
 	ShardWorkers int
+	// Faults, if set, is a fault schedule attached to the world before the
+	// run (see internal/faults): node churn, gateway failure, partitions,
+	// and radio degradation fire at fixed world steps. The schedule is
+	// immutable and may be shared across the runs of a RunMany batch. When
+	// a fault epoch advances, the harness ages out routes through dead next
+	// hops and routes to out-of-service gateways, and applies
+	// StrandedPolicy to agents caught on dead nodes.
+	Faults *faults.Schedule
+	// StrandedPolicy selects what happens to an agent standing on a node
+	// that dies: StrandedRespawn (default) teleports it to a random alive
+	// node with a cleared trail; StrandedKill removes it for the rest of
+	// the run.
+	StrandedPolicy StrandedPolicy
+	// RecoveryTol is the reconvergence tolerance for the post-fault
+	// recovery statistics: an event recovers when connectivity climbs back
+	// to within RecoveryTol of its pre-fault baseline (default 0.02).
+	RecoveryTol float64
 	// Observer, if set, is called once per step after deposits and
 	// measurement, before the world moves — the hook the packet-level
 	// traffic harness uses to forward packets against live tables. The
@@ -92,6 +110,20 @@ type Scenario struct {
 	// cannot change seeded results. nil disables with near-zero overhead.
 	Metrics *metrics.Registry
 }
+
+// StrandedPolicy selects the fate of agents standing on a node when a
+// fault kills it.
+type StrandedPolicy uint8
+
+const (
+	// StrandedRespawn teleports a stranded agent to a uniformly random
+	// alive node (drawn from the run's dedicated fault stream) and clears
+	// its trail — the recorded walk no longer connects to the new position.
+	StrandedRespawn StrandedPolicy = iota
+	// StrandedKill removes a stranded agent from the run permanently; its
+	// accumulated overhead still counts.
+	StrandedKill
+)
 
 func (sc Scenario) withDefaults() Scenario {
 	if sc.Agents <= 0 {
@@ -112,6 +144,9 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.StigPerNode <= 0 {
 		sc.StigPerNode = 3
 	}
+	if sc.RecoveryTol <= 0 {
+		sc.RecoveryTol = 0.02
+	}
 	return sc
 }
 
@@ -128,10 +163,28 @@ type Result struct {
 	EndToEnd []float64
 	// Ideal is the per-step physical upper bound (omniscient routing).
 	Ideal []float64
+	// Staleness is the per-step mean route age: for every alive non-gateway
+	// node holding at least one entry, the age in steps of its freshest
+	// entry, averaged over those nodes (0 when no node holds a route).
+	Staleness []float64
 	// Mean and Std summarise Connectivity over the measurement window.
 	Mean, Std float64
 	// MeanEndToEnd summarises EndToEnd over the same window.
 	MeanEndToEnd float64
+	// MeanStaleness summarises Staleness over the same window.
+	MeanStaleness float64
+	// Recovery measures the Connectivity series' response to each fault
+	// event — time-to-reconvergence and connectivity floor. Populated only
+	// when Scenario.Faults is set.
+	Recovery stats.RecoveryStats
+	// RecoveryEndToEnd is the same measurement over the stricter EndToEnd
+	// series, where gateway failures and partitions actually sever paths —
+	// the honest reconvergence time of the route fabric. Populated only
+	// when Scenario.Faults is set.
+	RecoveryEndToEnd stats.RecoveryStats
+	// Stranded counts agents caught on dying nodes (respawned or killed,
+	// per StrandedPolicy).
+	Stranded int
 	// Overhead aggregates all agents' cost counters.
 	Overhead core.Overhead
 }
@@ -313,7 +366,7 @@ func (s *Scratch) Connectivity(w *network.World, ts *Tables) float64 {
 	reach := s.ReachSet(w, ts)
 	reached, total := 0, 0
 	for u := 0; u < w.N(); u++ {
-		if w.IsGateway(NodeID(u)) {
+		if w.IsGateway(NodeID(u)) || !w.Alive(NodeID(u)) {
 			continue
 		}
 		total++
@@ -337,7 +390,7 @@ func LocalConnectivity(w *network.World, ts *Tables) float64 {
 	topo := w.Topology()
 	ok, total := 0, 0
 	for u := 0; u < w.N(); u++ {
-		if w.IsGateway(NodeID(u)) {
+		if w.IsGateway(NodeID(u)) || !w.Alive(NodeID(u)) {
 			continue
 		}
 		total++
@@ -352,6 +405,34 @@ func LocalConnectivity(w *network.World, ts *Tables) float64 {
 		return 1
 	}
 	return float64(ok) / float64(total)
+}
+
+// Staleness returns the mean route age at the current step: for every
+// alive non-gateway node holding at least one entry, the age in steps of
+// its freshest entry. Nodes with empty tables do not dilute the mean —
+// they are a coverage problem (connectivity), not a freshness one. Returns
+// 0 when no node holds a route.
+func Staleness(w *network.World, ts *Tables, step int) float64 {
+	sum, cnt := 0, 0
+	for u := 0; u < w.N(); u++ {
+		if w.IsGateway(NodeID(u)) || !w.Alive(NodeID(u)) {
+			continue
+		}
+		freshest := -1
+		for _, e := range ts.tables[u].Entries() {
+			if e.Updated > freshest {
+				freshest = e.Updated
+			}
+		}
+		if freshest >= 0 {
+			sum += step - freshest
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
 }
 
 // Connectivity returns the fraction of non-gateway nodes that currently
@@ -383,10 +464,13 @@ type runMetrics struct {
 	adoptions metrics.Counter
 	evictions metrics.Counter
 	marks     metrics.Counter
+	stranded  metrics.Counter
+	purged    metrics.Counter
 
 	connLocal metrics.Gauge
 	connE2E   metrics.Gauge
 	connIdeal metrics.Gauge
+	staleness metrics.Gauge
 
 	prevOverhead core.Overhead
 	prevEvict    int
@@ -412,9 +496,12 @@ func newRunMetrics(r *metrics.Registry) runMetrics {
 		adoptions: r.Counter("routing_route_adoptions_total"),
 		evictions: r.Counter("routing_route_evictions_total"),
 		marks:     r.Counter("routing_marks_total"),
+		stranded:  r.Counter("faults_stranded_agents_total"),
+		purged:    r.Counter("faults_routes_purged_total"),
 		connLocal: r.Gauge("routing_connectivity"),
 		connE2E:   r.Gauge("routing_connectivity_end_to_end"),
 		connIdeal: r.Gauge("routing_connectivity_ideal"),
+		staleness: r.Gauge("routing_route_staleness"),
 	}
 }
 
@@ -511,6 +598,9 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 	if sc.ShardWorkers > 0 {
 		w.SetShardWorkers(sc.ShardWorkers)
 	}
+	if sc.Faults != nil {
+		w.SetFaults(sc.Faults)
+	}
 	root := rng.New(seed).Named("routing")
 	agents, err := placeAgents(w, sc, root)
 	if err != nil {
@@ -534,34 +624,54 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		Connectivity: make([]float64, 0, sc.Steps),
 		EndToEnd:     make([]float64, 0, sc.Steps),
 		Ideal:        make([]float64, 0, sc.Steps),
+		Staleness:    make([]float64, 0, sc.Steps),
 	}
 	m := newRunMetrics(sc.Metrics)
 	w.Instrument(sc.Metrics)
 	m.runs.Inc()
 
+	// alive is the agent population still in play; StrandedKill shrinks it.
+	// The original agents slice is kept intact for the final overhead sweep.
+	alive := agents
+	var faultRng *rng.Stream
+	lastEpoch := 0
+	if sc.Faults != nil {
+		faultRng = root.Named("faults")
+		lastEpoch = w.FaultEpoch()
+	}
+
 	sim.Run(sc.Steps, func(step int) bool {
 		m.steps.Inc()
+		// Fault reaction: events fired inside the previous w.Step() advance
+		// the epoch; react before agents decide, in the sequential section,
+		// so the response is deterministic at any worker setting.
+		if sc.Faults != nil {
+			if ep := w.FaultEpoch(); ep != lastEpoch {
+				lastEpoch = ep
+				alive = reactToFaults(w, sc, step, tables, alive, faultRng, &res, &m)
+			}
+		}
 		// Phase 1: decide (+ mark). Per-node groups keep stigmergic
 		// board access race-free and deterministic.
 		sp := m.decide.Start()
 		if sc.Stigmergy {
-			groups := grouper.All(agents)
+			groups := grouper.All(alive)
 			engine.ForEach(len(groups), func(g int) {
 				for _, a := range groups[g] {
 					next[a.ID] = a.Decide(board, step, w.Neighbors(a.At))
 				}
 			})
 		} else {
-			engine.ForEach(len(agents), func(i int) {
-				a := agents[i]
+			engine.ForEach(len(alive), func(i int) {
+				a := alive[i]
 				next[a.ID] = a.Decide(nil, step, w.Neighbors(a.At))
 			})
 		}
 		sp.Stop()
 		// Phase 2: meetings at the pre-move node.
 		sp = m.meet.Start()
-		if sc.Communicate && len(agents) > 1 {
-			groups := grouper.Meetings(agents)
+		if sc.Communicate && len(alive) > 1 {
+			groups := grouper.Meetings(alive)
 			if sc.Tracer != nil || m.enabled {
 				for _, g := range groups {
 					m.meetings.Inc()
@@ -580,7 +690,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		}
 		sp.Stop()
 		if sc.Tracer != nil {
-			for _, a := range agents {
+			for _, a := range alive {
 				if next[a.ID] != a.At {
 					sc.Tracer.Emit(trace.Event{
 						Step: step, Kind: trace.KindMove,
@@ -591,8 +701,8 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		}
 		// Phase 3: move and record; Phase 4: deposit at the new node.
 		sp = m.move.Start()
-		engine.ForEach(len(agents), func(i int) {
-			a := agents[i]
+		engine.ForEach(len(alive), func(i int) {
+			a := alive[i]
 			a.MoveTo(next[a.ID], w.IsGateway(next[a.ID]))
 			a.RecordHere(step)
 		})
@@ -601,7 +711,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		// order. Table updates are freshest-wins, so order only breaks
 		// exact ties; fixing the order makes runs reproducible.
 		sp = m.deposit.Start()
-		for _, a := range agents {
+		for _, a := range alive {
 			node := a.At
 			agent := a
 			a.DepositRoute(w.Neighbors(node), func(gw, hop NodeID, hops int) bool {
@@ -625,10 +735,12 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		res.Connectivity = append(res.Connectivity, LocalConnectivity(w, tables))
 		res.EndToEnd = append(res.EndToEnd, scratch.Connectivity(w, tables))
 		res.Ideal = append(res.Ideal, w.ConnectivityToGateways())
+		res.Staleness = append(res.Staleness, Staleness(w, tables, step))
 		sp.Stop()
 		m.connLocal.Set(res.Connectivity[len(res.Connectivity)-1])
 		m.connE2E.Set(res.EndToEnd[len(res.EndToEnd)-1])
 		m.connIdeal.Set(res.Ideal[len(res.Ideal)-1])
+		m.staleness.Set(res.Staleness[len(res.Staleness)-1])
 		if sc.Tracer != nil {
 			sc.Tracer.Emit(trace.Event{
 				Step: step, Kind: trace.KindMeasure,
@@ -653,10 +765,99 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 	res.Mean = stats.WindowMean(res.Connectivity, sc.MeasureFrom, sc.Steps)
 	res.Std = stats.WindowStd(res.Connectivity, sc.MeasureFrom, sc.Steps)
 	res.MeanEndToEnd = stats.WindowMean(res.EndToEnd, sc.MeasureFrom, sc.Steps)
+	res.MeanStaleness = stats.WindowMean(res.Staleness, sc.MeasureFrom, sc.Steps)
+	if sc.Faults != nil {
+		// An event scheduled at world step s fires inside the s-th Step()
+		// call, after that step's measurement — its first observable effect
+		// is series index s+1, with series[s] the pre-fault baseline.
+		fsteps := sc.Faults.Steps()
+		shifted := make([]int, len(fsteps))
+		for i, s := range fsteps {
+			shifted[i] = s + 1
+		}
+		res.Recovery = stats.Recovery(res.Connectivity, shifted, sc.RecoveryTol)
+		res.RecoveryEndToEnd = stats.Recovery(res.EndToEnd, shifted, sc.RecoveryTol)
+	}
 	for _, a := range agents {
 		res.Overhead.Add(a.Overhead)
 	}
 	return res, nil
+}
+
+// reactToFaults is the harness's response to a fault epoch advance: routes
+// through dead next hops and routes to out-of-service gateways are aged
+// out of every table, and agents caught on dead nodes are respawned (to a
+// uniformly random alive node, trail cleared) or killed per
+// Scenario.StrandedPolicy. Respawn targets are drawn from the run's
+// dedicated fault stream over the ascending alive-node list, so the
+// reaction is a pure function of the run seed and the schedule. Returns
+// the surviving agent slice; the caller's original slice is never mutated.
+func reactToFaults(w *network.World, sc Scenario, step int, tables *Tables, alive []*core.Agent, frng *rng.Stream, res *Result, m *runMetrics) []*core.Agent {
+	purged := 0
+	for u := 0; u < w.N(); u++ {
+		purged += tables.At(NodeID(u)).DropIf(func(e network.Entry) bool {
+			return !w.Alive(e.NextHop) || !w.IsGateway(e.Gateway)
+		})
+	}
+	m.purged.Add(uint64(purged))
+	stranded := 0
+	if sc.StrandedPolicy == StrandedKill {
+		lost := 0
+		for _, a := range alive {
+			if !w.Alive(a.At) {
+				lost++
+			}
+		}
+		if lost > 0 {
+			stranded = lost
+			kept := make([]*core.Agent, 0, len(alive)-lost)
+			for _, a := range alive {
+				if w.Alive(a.At) {
+					kept = append(kept, a)
+				}
+			}
+			alive = kept
+		}
+	} else {
+		var aliveNodes []NodeID
+		for _, a := range alive {
+			if w.Alive(a.At) {
+				continue
+			}
+			stranded++
+			if aliveNodes == nil {
+				for u := 0; u < w.N(); u++ {
+					if w.Alive(NodeID(u)) {
+						aliveNodes = append(aliveNodes, NodeID(u))
+					}
+				}
+			}
+			if len(aliveNodes) == 0 {
+				continue // nothing left to respawn onto; leave it in place
+			}
+			target := aliveNodes[frng.Intn(len(aliveNodes))]
+			a.At = target
+			if w.IsGateway(target) {
+				a.Trail.ResetAt(target)
+			} else {
+				a.Trail.Clear()
+			}
+		}
+	}
+	res.Stranded += stranded
+	m.stranded.Add(uint64(stranded))
+	if sc.Tracer != nil {
+		evs := w.LastFaultEvents()
+		extra := ""
+		if len(evs) > 0 {
+			extra = evs[0].Kind.String()
+		}
+		sc.Tracer.Emit(trace.Event{
+			Step: step, Kind: trace.KindFault,
+			Value: float64(len(evs)), Extra: extra,
+		})
+	}
+	return alive
 }
 
 func placeAgents(w *network.World, sc Scenario, root *rng.Stream) ([]*core.Agent, error) {
@@ -707,6 +908,24 @@ type Aggregate struct {
 	AvgSeries []float64
 	// AvgIdeal is the pointwise mean physical upper bound.
 	AvgIdeal []float64
+	// MeanStaleness averages the runs' window-mean route staleness.
+	MeanStaleness float64
+	// Reconv summarises each run's mean time-to-reconvergence over its
+	// recovered fault events (runs with no recovered event are excluded).
+	// Meaningful only when the scenario carried a fault schedule.
+	Reconv stats.Summary
+	// Floor summarises each run's connectivity floor across its fault
+	// degradation windows.
+	Floor stats.Summary
+	// ReconvE2E and FloorE2E are the same summaries over the end-to-end
+	// series, where severed paths register fully.
+	ReconvE2E stats.Summary
+	FloorE2E  stats.Summary
+	// Recovered and Censored total the fault events across runs that did
+	// and did not reconverge before the run ended.
+	Recovered, Censored int
+	// Stranded totals agents caught on dying nodes across runs.
+	Stranded int
 	// Overhead sums all runs' agent overhead.
 	Overhead core.Overhead
 }
@@ -762,6 +981,7 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 	ideal := make([][]float64, 0, runs)
 	stds := make([]float64, 0, runs)
 	e2e := make([]float64, 0, runs)
+	var stal, reconv, floors, reconvE2E, floorsE2E []float64
 	for r := 0; r < runs; r++ {
 		res := results[r]
 		if !math.IsNaN(res.Mean) {
@@ -770,6 +990,24 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 		if !math.IsNaN(res.MeanEndToEnd) {
 			e2e = append(e2e, res.MeanEndToEnd)
 		}
+		if !math.IsNaN(res.MeanStaleness) {
+			stal = append(stal, res.MeanStaleness)
+		}
+		if !math.IsNaN(res.Recovery.MeanSteps) {
+			reconv = append(reconv, res.Recovery.MeanSteps)
+		}
+		if !math.IsNaN(res.Recovery.Floor) {
+			floors = append(floors, res.Recovery.Floor)
+		}
+		if !math.IsNaN(res.RecoveryEndToEnd.MeanSteps) {
+			reconvE2E = append(reconvE2E, res.RecoveryEndToEnd.MeanSteps)
+		}
+		if !math.IsNaN(res.RecoveryEndToEnd.Floor) {
+			floorsE2E = append(floorsE2E, res.RecoveryEndToEnd.Floor)
+		}
+		agg.Recovered += res.Recovery.Recovered
+		agg.Censored += res.Recovery.Censored
+		agg.Stranded += res.Stranded
 		stds = append(stds, res.Std)
 		series = append(series, res.Connectivity)
 		ideal = append(ideal, res.Ideal)
@@ -780,6 +1018,11 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 	agg.Stability = stats.Mean(stds)
 	agg.AvgSeries = stats.AverageSeries(series)
 	agg.AvgIdeal = stats.AverageSeries(ideal)
+	agg.MeanStaleness = stats.Mean(stal)
+	agg.Reconv = stats.Summarize(reconv)
+	agg.Floor = stats.Summarize(floors)
+	agg.ReconvE2E = stats.Summarize(reconvE2E)
+	agg.FloorE2E = stats.Summarize(floorsE2E)
 	return agg, nil
 }
 

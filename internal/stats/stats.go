@@ -185,6 +185,85 @@ func Downsample(xs []float64, k int) []float64 {
 	return out
 }
 
+// RecoveryEvent is the measured response of a series to one fault event:
+// how far the metric fell and how long it took to climb back.
+type RecoveryEvent struct {
+	// Step is the series index at which the fault first affected the
+	// measurement.
+	Step int
+	// Baseline is the value immediately before the fault.
+	Baseline float64
+	// Floor is the minimum value from the fault until recovery (or the end
+	// of the series when the event never recovers).
+	Floor float64
+	// Recovered reports whether the series climbed back to within tol of
+	// the baseline before the series ended.
+	Recovered bool
+	// Steps is the time to reconvergence: indices from the fault until the
+	// first value >= Baseline - tol. Valid only when Recovered.
+	Steps int
+}
+
+// RecoveryStats summarises a series' graceful-degradation behaviour over a
+// set of fault events.
+type RecoveryStats struct {
+	// Events holds one entry per observable fault step, in step order.
+	Events []RecoveryEvent
+	// Recovered and Censored partition the events: recovered within the
+	// series versus still degraded when it ended.
+	Recovered, Censored int
+	// MeanSteps averages time-to-reconvergence over the recovered events
+	// (NaN when none recovered).
+	MeanSteps float64
+	// Floor is the global minimum over every event's degradation window —
+	// the connectivity floor during the worst disruption.
+	Floor float64
+}
+
+// Recovery measures time-to-reconvergence and degradation floors: for each
+// fault step k (a series index; out-of-range or zero indices are skipped),
+// the baseline is series[k-1], and the series recovers at the first index
+// j >= k with series[j] >= baseline - tol. Events that never recover are
+// censored, with their floor taken over the remaining series. Overlapping
+// windows (a second fault before the first recovered) are measured
+// independently against their own baselines.
+func Recovery(series []float64, faultSteps []int, tol float64) RecoveryStats {
+	rs := RecoveryStats{Floor: math.NaN()}
+	var recSteps []float64
+	for _, k := range faultSteps {
+		if k <= 0 || k >= len(series) {
+			continue
+		}
+		ev := RecoveryEvent{Step: k, Baseline: series[k-1], Floor: math.Inf(1)}
+		target := ev.Baseline - tol
+		for j := k; j < len(series); j++ {
+			if series[j] < ev.Floor {
+				ev.Floor = series[j]
+			}
+			if series[j] >= target {
+				ev.Recovered = true
+				ev.Steps = j - k
+				break
+			}
+		}
+		if math.IsInf(ev.Floor, 1) {
+			ev.Floor = ev.Baseline
+		}
+		if ev.Recovered {
+			rs.Recovered++
+			recSteps = append(recSteps, float64(ev.Steps))
+		} else {
+			rs.Censored++
+		}
+		if math.IsNaN(rs.Floor) || ev.Floor < rs.Floor {
+			rs.Floor = ev.Floor
+		}
+		rs.Events = append(rs.Events, ev)
+	}
+	rs.MeanSteps = Mean(recSteps)
+	return rs
+}
+
 // ConvergenceStep returns the first index from which the series stays
 // within eps of its tail mean (the mean over the last half of the
 // series), or -1 if it never settles. This is the "converged to its mean

@@ -223,3 +223,59 @@ func TestConvergenceStep(t *testing.T) {
 		t.Fatal("empty series should be -1")
 	}
 }
+
+func TestRecovery(t *testing.T) {
+	// Baseline 1.0, fault at index 3 drops to 0.4, climbs back to within
+	// tol of baseline at index 6; a second fault at index 8 never recovers.
+	series := []float64{1, 1, 1, 0.4, 0.5, 0.8, 0.99, 1, 0.3, 0.35, 0.4}
+	rs := Recovery(series, []int{3, 8}, 0.02)
+	if len(rs.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(rs.Events))
+	}
+	ev := rs.Events[0]
+	if !ev.Recovered || ev.Steps != 3 {
+		t.Errorf("event 0: recovered=%v steps=%d, want recovery in 3 steps", ev.Recovered, ev.Steps)
+	}
+	if ev.Baseline != 1 || ev.Floor != 0.4 {
+		t.Errorf("event 0: baseline=%v floor=%v, want 1 and 0.4", ev.Baseline, ev.Floor)
+	}
+	ev = rs.Events[1]
+	if ev.Recovered {
+		t.Error("event 1 should be censored")
+	}
+	if ev.Floor != 0.3 {
+		t.Errorf("event 1: floor=%v, want 0.3", ev.Floor)
+	}
+	if rs.Recovered != 1 || rs.Censored != 1 {
+		t.Errorf("recovered=%d censored=%d, want 1 and 1", rs.Recovered, rs.Censored)
+	}
+	if rs.MeanSteps != 3 {
+		t.Errorf("MeanSteps=%v, want 3", rs.MeanSteps)
+	}
+	if rs.Floor != 0.3 {
+		t.Errorf("global floor=%v, want 0.3", rs.Floor)
+	}
+}
+
+func TestRecoveryEdgeCases(t *testing.T) {
+	// Out-of-range and zero fault indices are skipped (no baseline exists).
+	rs := Recovery([]float64{1, 0.5, 1}, []int{0, -2, 7}, 0.02)
+	if len(rs.Events) != 0 {
+		t.Fatalf("degenerate fault steps produced %d events", len(rs.Events))
+	}
+	if !math.IsNaN(rs.MeanSteps) || !math.IsNaN(rs.Floor) {
+		t.Error("empty recovery stats should be NaN-valued")
+	}
+	// Instant recovery: the fault never dents the series.
+	rs = Recovery([]float64{1, 1, 1}, []int{1}, 0.02)
+	if rs.Recovered != 1 || rs.Events[0].Steps != 0 {
+		t.Errorf("undented series: recovered=%d steps=%d, want instant recovery",
+			rs.Recovered, rs.Events[0].Steps)
+	}
+	// A fault improving the metric also recovers instantly, floor above
+	// baseline.
+	rs = Recovery([]float64{0.5, 0.9, 0.9}, []int{1}, 0.02)
+	if rs.Recovered != 1 || rs.Events[0].Floor != 0.9 {
+		t.Errorf("improving fault: recovered=%d floor=%v", rs.Recovered, rs.Events[0].Floor)
+	}
+}

@@ -23,6 +23,7 @@ const (
 	KindDeposit Kind = "deposit" // Agent wrote a route at Node toward To
 	KindMeasure Kind = "measure" // per-step metric; Extra names it
 	KindFinish  Kind = "finish"  // run completed at Step
+	KindFault   Kind = "fault"   // fault events fired; Value counts them, Extra names the first kind
 )
 
 // Event is one simulation occurrence.

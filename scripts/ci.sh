@@ -51,6 +51,20 @@ echo "== sharded-stepping determinism gate (GOMAXPROCS=2 and NumCPU, under -race
 GOMAXPROCS=2 go test -race -count=1 -run 'Sharded|SnapshotShardLayout' ./internal/network
 go test -race -count=1 -run 'Sharded|SnapshotShardLayout' ./internal/network
 
+echo "== fault-injection gate (churn/partition equivalence + snapshot round-trip, -race)"
+# The fault engine must leave every stepping path bit-identical: the
+# engine-level equivalence test drives every fault preset through the
+# incremental, full-rebuild, and sharded engines against a brute-force
+# referee, and the harness-level test pins aggregates across
+# runworkers x shardworkers in {1,2,4} (covering the 1 and 4 shard
+# settings). The snapshot tests gate the versioned faulted round-trip.
+GOMAXPROCS=2 go test -race -count=1 \
+  -run 'FaultedEnginesMatch|FaultedSnapshotRoundTrip|SnapshotVersionRejected' \
+  ./internal/network
+go test -race -count=1 \
+  -run 'FaultedRunEquivalence|FaultCountersPinned|RoutingChurnResultPinned' \
+  . ./internal/network ./internal/routing
+
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
 
