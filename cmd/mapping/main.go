@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
+	"repro/internal/replay"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -44,6 +45,8 @@ func main() {
 		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
 		curve        = flag.Bool("curve", false, "print the averaged knowledge curve as TSV")
 		traceFile    = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+		binlogFile   = flag.String("binlog", "", "write a binary event+world log of ONE run to this file (replayable with cmd/replay)")
+		anchorEvery  = flag.Int("anchorevery", network.DefaultAnchorEvery, "snapshot anchor cadence in the binary log")
 		metricsFile  = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
 		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 	)
@@ -97,6 +100,22 @@ func main() {
 		}
 		fmt.Printf("trace of one run written to %s\n", *traceFile)
 	}
+	if *binlogFile != "" {
+		meta := replay.RunMeta{
+			Scenario:    "mapping",
+			Spec:        spec,
+			WorldSeed:   *seed,
+			Seed:        *seed,
+			Steps:       *maxSteps,
+			AnchorEvery: *anchorEvery,
+		}
+		n, err := recordOneRun(*binlogFile, meta, w, sc, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapping:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("binary log of one run written to %s (%d events)\n", *binlogFile, n)
+	}
 	// Parallel replication needs a fresh world per run; the same spec and
 	// seed regenerate an identical topology, so results do not change.
 	worldFor := func(int) (*network.World, error) { return w, nil }
@@ -146,6 +165,28 @@ func downsampleStride(n int) int {
 		stride = 1
 	}
 	return stride
+}
+
+// recordOneRun executes a single sequential run recorded into a binary
+// log at path (snapshot anchors + world deltas + events), returning the
+// event count. The sidecar index lands at path+".idx".
+func recordOneRun(path string, meta replay.RunMeta, w *network.World, sc mapping.Scenario, seed uint64) (int, error) {
+	hdr, err := replay.NewLogHeader(meta)
+	if err != nil {
+		return 0, err
+	}
+	lw, err := trace.CreateLog(path, hdr)
+	if err != nil {
+		return 0, err
+	}
+	sc.Tracer = lw
+	sc.AnchorEvery = meta.AnchorEvery
+	sc.Workers = 1 // sequential: reproducible log
+	if _, err := mapping.Run(w, sc, seed); err != nil {
+		lw.Close()
+		return 0, err
+	}
+	return lw.Count(), lw.Close()
 }
 
 // traceOneRun executes a single sequential run with tracing into path.

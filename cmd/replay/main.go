@@ -1,0 +1,135 @@
+// Command replay works with binary simulation logs produced by
+// `routing -binlog` / `mapping -binlog`: it reconstructs the world at any
+// step from the nearest snapshot anchor plus the logged deltas, verifies a
+// log bit-for-bit against a fresh simulation, and summarises the event
+// stream without ever materialising it.
+//
+// Examples:
+//
+//	routing -runs 1 -binlog run.alog            # record
+//	replay -log run.alog                        # header + stream summary
+//	replay -log run.alog -step 120 -snapshot    # world state at step 120, as JSON
+//	replay -log run.alog -step 120 -verify      # bit-compare step 120 vs fresh sim
+//	replay -log run.alog -verify                # full lockstep verification
+//	replay -log run.alog -summary               # measurement curves & fault steps
+//
+// Exit status: 0 on success, 1 on corruption or verification mismatch,
+// 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		logPath  = flag.String("log", "", "binary log to read (required)")
+		step     = flag.Int("step", -1, "reconstruct the world at this step (0 = initial state)")
+		snapshot = flag.Bool("snapshot", false, "print the reconstructed snapshot as JSON (needs -step)")
+		verify   = flag.Bool("verify", false, "bit-compare against a fresh simulation (whole log, or just -step)")
+		summary  = flag.Bool("summary", false, "print measurement curves and fault steps from the event stream")
+	)
+	flag.Parse()
+
+	if *logPath == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: replay -log <file.alog> [-step N [-snapshot]] [-verify] [-summary]")
+		os.Exit(2)
+	}
+	if *snapshot && *step < 0 {
+		fmt.Fprintln(os.Stderr, "replay: -snapshot needs -step")
+		os.Exit(2)
+	}
+
+	lr, closeLog, err := trace.OpenLog(*logPath)
+	if err != nil {
+		fail(err)
+	}
+	defer closeLog()
+	reg := metrics.NewRegistry()
+	lr.Instrument(reg)
+
+	hdr := lr.Header()
+	meta, metaErr := replay.MetaFromHeader(hdr)
+	fmt.Printf("log: %s version=%d seed=%d confighash=%016x\n",
+		*logPath, hdr.Version, hdr.BaseSeed, hdr.ConfigHash)
+	if metaErr == nil {
+		fmt.Printf("run: scenario=%s worldseed=%d seed=%d steps=%d faults=%q anchorevery=%d\n",
+			meta.Scenario, meta.WorldSeed, meta.Seed, meta.Steps, meta.FaultPreset, meta.AnchorEvery)
+	}
+
+	if *step >= 0 {
+		snap, err := replay.ReconstructAt(lr, *step)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("reconstructed step=%d nodes=%d\n", *step, len(snap.Positions))
+		if *snapshot {
+			b, err := json.Marshal(snap)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(append(b, '\n'))
+		}
+		if *verify {
+			if metaErr != nil {
+				fail(fmt.Errorf("cannot verify: log header has no run meta: %w", metaErr))
+			}
+			if err := replay.VerifyAt(lr, meta, *step); err != nil {
+				fail(fmt.Errorf("step %d diverges from fresh simulation: %w", *step, err))
+			}
+			fmt.Printf("verify step=%d ok: reconstruction is bit-identical to a fresh simulation\n", *step)
+		}
+	} else if *verify {
+		if metaErr != nil {
+			fail(fmt.Errorf("cannot verify: log header has no run meta: %w", metaErr))
+		}
+		checked, err := replay.VerifyLog(lr, meta)
+		if err != nil {
+			fail(fmt.Errorf("log diverges from fresh simulation: %w", err))
+		}
+		fmt.Printf("verify ok: checked=%d records bit-identical to a fresh simulation\n", checked)
+	}
+
+	sum, err := replay.SummarizeLog(lr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("events=%d steps=%d moves=%d meetings=%d deposits=%d measures=%d faults=%d blocks_read=%d\n",
+		sum.Events, sum.Steps, sum.ByKind[trace.KindMove], sum.ByKind[trace.KindMeet],
+		sum.ByKind[trace.KindDeposit], sum.ByKind[trace.KindMeasure], len(sum.FaultSteps),
+		reg.Snapshot(nil).Counter("replay_blocks_read"))
+
+	if *summary {
+		for _, name := range sum.MeasureNames {
+			curve := sum.MeasuresByName[name]
+			if len(curve) == 0 {
+				continue
+			}
+			fmt.Printf("\n%s curve (%d points):\n%s\nfinal value: %.3f\n",
+				name, len(curve), viz.Sparkline(curve, 75), curve[len(curve)-1])
+		}
+		if len(sum.FaultSteps) > 0 {
+			fmt.Printf("\nfault steps: %v\n", sum.FaultSteps)
+			if rec, err := sum.Recovery("", 0.02); err == nil && len(rec.Events) > 0 {
+				fmt.Printf("recovery (%s): %d/%d events recovered, mean %.2f steps, floor %.4f\n",
+					sum.MeasureName, rec.Recovered, rec.Recovered+rec.Censored, rec.MeanSteps, rec.Floor)
+			}
+		}
+		if sum.FinishStep >= 0 {
+			fmt.Printf("\nrun finished at step %d\n", sum.FinishStep)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "replay:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/network"
+	"repro/internal/replay"
 	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -49,6 +50,8 @@ func main() {
 		strandedKill = flag.Bool("strandedkill", false, "remove stranded agents instead of respawning them")
 		curve        = flag.Bool("curve", false, "print averaged connectivity curve as TSV")
 		traceFile    = flag.String("trace", "", "write a JSONL event trace of ONE run to this file")
+		binlogFile   = flag.String("binlog", "", "write a binary event+world log of ONE run to this file (replayable with cmd/replay)")
+		anchorEvery  = flag.Int("anchorevery", network.DefaultAnchorEvery, "snapshot anchor cadence in the binary log")
 		metricsFile  = flag.String("metrics", "", "dump a metrics snapshot to this file (Prometheus text; .json for JSON)")
 		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while running")
 	)
@@ -118,6 +121,23 @@ func main() {
 		}
 		fmt.Printf("trace of one run written to %s\n", *traceFile)
 	}
+	if *binlogFile != "" {
+		meta := replay.RunMeta{
+			Scenario:    "routing",
+			Spec:        spec,
+			WorldSeed:   *seed,
+			Seed:        *seed,
+			Steps:       *steps,
+			FaultPreset: *faultPreset,
+			AnchorEvery: *anchorEvery,
+		}
+		n, err := recordOneRun(*binlogFile, meta, worldFor, sc, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routing:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("binary log of one run written to %s (%d events)\n", *binlogFile, n)
+	}
 	agg, err := routing.RunMany(worldFor, sc, *runs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "routing:", err)
@@ -164,6 +184,33 @@ func main() {
 			fmt.Printf("%d\t%.4f\t%.4f\n", i*stride, conn[i], id)
 		}
 	}
+}
+
+// recordOneRun executes a single sequential run recorded into a binary
+// log at path (snapshot anchors + world deltas + events), returning the
+// event count. The sidecar index lands at path+".idx".
+func recordOneRun(path string, meta replay.RunMeta, worldFor func(int) (*network.World, error), sc routing.Scenario, seed uint64) (int, error) {
+	hdr, err := replay.NewLogHeader(meta)
+	if err != nil {
+		return 0, err
+	}
+	lw, err := trace.CreateLog(path, hdr)
+	if err != nil {
+		return 0, err
+	}
+	w, err := worldFor(0)
+	if err != nil {
+		lw.Close()
+		return 0, err
+	}
+	sc.Tracer = lw
+	sc.AnchorEvery = meta.AnchorEvery
+	sc.Workers = 1 // sequential: reproducible log
+	if _, err := routing.Run(w, sc, seed); err != nil {
+		lw.Close()
+		return 0, err
+	}
+	return lw.Count(), lw.Close()
 }
 
 // traceOneRun executes a single sequential run with tracing into path.

@@ -1,13 +1,18 @@
-// Command tracestat summarises a JSONL simulation trace produced by
-// `mapping -trace` or `routing -trace`: event counts, meeting-size
-// distribution, per-agent activity, and the measurement curve as a
-// sparkline.
+// Command tracestat summarises a simulation trace: event counts,
+// meeting-size distribution, per-agent activity, and the measurement
+// curves as sparklines. It reads the JSONL traces of `mapping -trace` /
+// `routing -trace` and, with -fromlog, the binary logs of `-binlog` —
+// streaming the latter, so logs far larger than memory summarise fine.
 //
 //	go run ./cmd/routing -runs 1 -trace run.jsonl
 //	go run ./cmd/tracestat run.jsonl
+//	go run ./cmd/routing -runs 1 -binlog run.alog
+//	go run ./cmd/tracestat -fromlog run.alog
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -18,31 +23,72 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.jsonl>")
+	fromLog := flag.Bool("fromlog", false, "input is a binary log (routing/mapping -binlog), not JSONL")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-fromlog] <trace.jsonl | trace.alog>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracestat:", err)
-		os.Exit(1)
+	path := flag.Arg(0)
+
+	var s replay.Summary
+	if *fromLog {
+		lr, closeLog, err := trace.OpenLog(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		defer closeLog()
+		s, err = replay.SummarizeLog(lr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: log %s is truncated or corrupt: %v\n", path, err)
+			os.Exit(1)
+		}
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events, err := trace.Read(f)
+		if err != nil {
+			// A decode error means a truncated or corrupt JSONL line; a partial
+			// summary would silently misrepresent the run, so refuse loudly.
+			fmt.Fprintf(os.Stderr,
+				"tracestat: trace %s is truncated or corrupt: %v\n"+
+					"tracestat: read %d valid events before the bad line; refusing to summarise a partial trace\n",
+				path, err, len(events))
+			if looksLikeBinaryLog(path) {
+				fmt.Fprintf(os.Stderr, "tracestat: %s looks like a binary log — try: tracestat -fromlog %s\n", path, path)
+			}
+			os.Exit(1)
+		}
+		s = replay.Summarize(events)
 	}
-	defer f.Close()
-	events, err := trace.Read(f)
-	if err != nil {
-		// A decode error means a truncated or corrupt JSONL line; a partial
-		// summary would silently misrepresent the run, so refuse loudly.
-		fmt.Fprintf(os.Stderr,
-			"tracestat: trace %s is truncated or corrupt: %v\n"+
-				"tracestat: read %d valid events before the bad line; refusing to summarise a partial trace\n",
-			os.Args[1], err, len(events))
-		os.Exit(1)
-	}
-	if len(events) == 0 {
+	if s.Events == 0 {
 		fmt.Println("empty trace")
 		return
 	}
-	s := replay.Summarize(events)
+	printSummary(s)
+}
+
+// looksLikeBinaryLog sniffs the AMESHLOG magic so a binary log passed
+// without -fromlog yields a helpful hint instead of a JSON error alone.
+func looksLikeBinaryLog(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	magic := make([]byte, 8)
+	if _, err := f.Read(magic); err != nil {
+		return false
+	}
+	return bytes.Equal(magic, []byte("AMESHLOG"))
+}
+
+func printSummary(s replay.Summary) {
 	fmt.Println(s)
 	fmt.Println()
 
@@ -71,10 +117,10 @@ func main() {
 			agents, total, min, max)
 	}
 
-	if deposits := replay.DepositsPerStep(events); len(deposits) > 0 {
-		series := make([]float64, len(deposits))
+	if len(s.DepositsPerStep) > 0 {
+		series := make([]float64, len(s.DepositsPerStep))
 		peak := 0.0
-		for i, d := range deposits {
+		for i, d := range s.DepositsPerStep {
 			series[i] = float64(d)
 			if series[i] > peak {
 				peak = series[i]
@@ -100,6 +146,9 @@ func main() {
 		fmt.Printf("\n%s curve (%d points):\n%s\n",
 			label, len(curve), viz.Sparkline(curve, 75))
 		fmt.Printf("final value: %.3f\n", curve[len(curve)-1])
+	}
+	if len(s.FaultSteps) > 0 {
+		fmt.Printf("\nfault steps: %v\n", s.FaultSteps)
 	}
 	if s.FinishStep >= 0 {
 		fmt.Printf("\nrun finished at step %d\n", s.FinishStep)

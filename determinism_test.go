@@ -8,11 +8,15 @@
 package agentmesh_test
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
 
 	agentmesh "repro"
+	"repro/internal/netgen"
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 // pinF64 asserts got matches the pinned value exactly (by bit pattern, so
@@ -222,6 +226,78 @@ func TestMetricsPreserveDeterminism(t *testing.T) {
 			t.Error("world phase instrumentation not wired")
 		}
 	})
+}
+
+// TestReplayMatchesPinnedRun records the canonical pinned routing run
+// (the TestRoutingResultPinned configuration) into an in-memory binary
+// log, then proves the log is a faithful durable artefact three ways:
+// attaching the recorder does not perturb the pinned result, the logged
+// world stream verifies in lockstep against a fresh simulation, and the
+// measurement curve recomputed purely from the log reproduces the pinned
+// connectivity checksum bit for bit.
+func TestReplayMatchesPinnedRun(t *testing.T) {
+	meta := replay.RunMeta{
+		Scenario:    "routing",
+		Spec:        netgen.Routing250(),
+		WorldSeed:   1,
+		Seed:        7,
+		Steps:       300,
+		AnchorEvery: 50,
+	}
+	hdr, err := replay.NewLogHeader(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lw, err := trace.NewLogWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := agentmesh.RoutingNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agentmesh.RunRouting(w, agentmesh.RoutingScenario{
+		Agents: 100, Kind: agentmesh.PolicyOldestNode, Communicate: true,
+		Tracer: lw, AnchorEvery: meta.AnchorEvery,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recording must not perturb the simulation: the pinned aggregates of
+	// TestRoutingResultPinned still hold with the recorder attached.
+	pinF64(t, "Mean", res.Mean, 0.5755462184873954)
+	pinF64(t, "weightedSum(Connectivity)", weightedSum(res.Connectivity), 27373.436974789918)
+
+	lr, err := trace.NewLogReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, err := replay.MetaFromHeader(lr.Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", gotMeta, meta)
+	}
+	checked, err := replay.VerifyLog(lr, gotMeta)
+	if err != nil {
+		t.Fatalf("VerifyLog: %v", err)
+	}
+	if checked < meta.Steps {
+		t.Fatalf("VerifyLog checked only %d records over %d steps", checked, meta.Steps)
+	}
+	sum, err := replay.SummarizeLog(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinF64(t, "weightedSum(log connectivity)",
+		weightedSum(sum.MeasuresByName["connectivity"]), 27373.436974789918)
+	pinF64(t, "weightedSum(log end-to-end)",
+		weightedSum(sum.MeasuresByName["end-to-end"]), 7898.5840336134479)
 }
 
 // TestRoutingChurnResultPinned pins a fully faulted run — the "blackout"

@@ -88,8 +88,14 @@ type Scenario struct {
 	Faults *faults.Schedule
 	// Tracer, if set, receives structured events (moves, meetings,
 	// per-step knowledge). Events are emitted from sequential sections,
-	// so traces are reproducible with Workers <= 1.
+	// so traces are reproducible with Workers <= 1. A Tracer that also
+	// implements trace.WorldSink (the binary LogWriter does) additionally
+	// receives snapshot anchors every AnchorEvery steps and per-step world
+	// deltas, making the log replayable offline.
 	Tracer trace.Tracer
+	// AnchorEvery is the snapshot-anchor cadence for WorldSink tracers
+	// (<= 0 uses network.DefaultAnchorEvery). Ignored for plain tracers.
+	AnchorEvery int
 	// Metrics, if set, receives live instrumentation: per-step phase
 	// timers, domain counters (moves, meetings by size, knowledge-record
 	// merges, marks), and knowledge gauges. Instruments sit outside every
@@ -277,9 +283,18 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		faultRng = root.Named("faults")
 		lastEpoch = w.FaultEpoch()
 	}
+	// A WorldSink tracer additionally records the world's evolution —
+	// snapshot anchors plus per-step deltas — so the run can be replayed
+	// offline. The recorder only observes (no RNG, no world mutation), so
+	// recording cannot perturb the seeded result.
+	var rec *network.StepRecorder
+	if sink, ok := sc.Tracer.(trace.WorldSink); ok {
+		rec = network.NewStepRecorder(w, sink, sc.AnchorEvery)
+	}
 
 	steps, completed := sim.Run(sc.MaxSteps, func(step int) bool {
 		m.steps.Inc()
+		rec.BeforeStep(step)
 		// Fault reaction: respawn agents stranded on nodes that died during
 		// the previous world step. Sequential, so deterministic at any
 		// worker setting.
@@ -381,6 +396,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		sp.Stop()
 		m.syncCounts(agents)
 		w.Step()
+		rec.AfterWorldStep()
 		return false
 	})
 

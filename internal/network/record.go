@@ -1,0 +1,152 @@
+package network
+
+import (
+	"encoding/json"
+
+	"repro/internal/trace"
+)
+
+// DefaultAnchorEvery is the default snapshot-anchor cadence (in steps) for
+// recorded runs: frequent enough that reconstructing any step replays at
+// most this many world deltas, sparse enough that anchors stay a small
+// fraction of the log.
+const DefaultAnchorEvery = 100
+
+// StepRecorder streams a world's evolution into a trace.WorldSink: a full
+// snapshot anchor every K harness steps and one compact delta (changed
+// positions, changed radio ranges, fault-state transitions) after every
+// world step. The recorder only observes — it never mutates the world or
+// consumes RNG — so recording cannot perturb a seeded run.
+//
+// Protocol, mirroring the harness loop:
+//
+//	rec := NewStepRecorder(world, sink, every) // world at its start state
+//	for step := 0; step < steps; step++ {
+//	    rec.BeforeStep(step) // anchors V(step) when step%every == 0
+//	    ... agent phase: events emitted at this step ...
+//	    world.Step()
+//	    rec.AfterWorldStep() // delta labeled step+1 = V(step+1)
+//	}
+//
+// With anchors at V(A) and deltas labeled A+1..S, replaying the tail of
+// deltas in (A, S] on top of the nearest anchor A <= S reconstructs the
+// world exactly as the harness observed it at step S.
+type StepRecorder struct {
+	w     *World
+	sink  trace.WorldSink
+	every int
+
+	prevX, prevY []float64
+	prevRange    []float64
+	prevEpoch    int
+
+	d trace.WorldDelta // scratch, reused between emissions
+}
+
+// NewStepRecorder starts recording w into sink, anchoring every `every`
+// steps (<= 0 uses DefaultAnchorEvery). Returns nil — a no-op recorder —
+// when sink is nil. The world's current state becomes the delta baseline,
+// so construct the recorder before the first BeforeStep call.
+func NewStepRecorder(w *World, sink trace.WorldSink, every int) *StepRecorder {
+	if sink == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = DefaultAnchorEvery
+	}
+	n := w.N()
+	r := &StepRecorder{
+		w:         w,
+		sink:      sink,
+		every:     every,
+		prevX:     make([]float64, n),
+		prevY:     make([]float64, n),
+		prevRange: make([]float64, n),
+		prevEpoch: w.FaultEpoch(),
+	}
+	r.capture()
+	return r
+}
+
+// capture refreshes the delta baseline from the world's current state.
+func (r *StepRecorder) capture() {
+	for u := 0; u < r.w.N(); u++ {
+		p := r.w.pos[u]
+		r.prevX[u], r.prevY[u] = p.X, p.Y
+		r.prevRange[u] = r.w.radios[u].Range()
+	}
+}
+
+// BeforeStep anchors a full snapshot of the current world state when step
+// falls on the anchor cadence. Call at the top of each harness step,
+// before the agent phase.
+func (r *StepRecorder) BeforeStep(step int) {
+	if r == nil || step%r.every != 0 {
+		return
+	}
+	b, err := json.Marshal(r.w.Snapshot())
+	if err != nil {
+		// Snapshot marshalling cannot fail for in-range world state; skip
+		// the anchor rather than aborting the run if it somehow does.
+		return
+	}
+	r.sink.EmitAnchor(step, b)
+}
+
+// AfterWorldStep emits the delta between the previous baseline and the
+// world's new state, labeled with the world's own step counter. Call
+// immediately after each World.Step.
+func (r *StepRecorder) AfterWorldStep() {
+	if r == nil {
+		return
+	}
+	w := r.w
+	d := &r.d
+	d.Step = w.StepCount()
+	d.Nodes = d.Nodes[:0]
+	d.X = d.X[:0]
+	d.Y = d.Y[:0]
+	d.RangeNodes = d.RangeNodes[:0]
+	d.Ranges = d.Ranges[:0]
+	for u := 0; u < w.N(); u++ {
+		p := w.pos[u]
+		if p.X != r.prevX[u] || p.Y != r.prevY[u] {
+			d.Nodes = append(d.Nodes, int32(u))
+			d.X = append(d.X, p.X)
+			d.Y = append(d.Y, p.Y)
+			r.prevX[u], r.prevY[u] = p.X, p.Y
+		}
+		if rg := w.radios[u].Range(); rg != r.prevRange[u] {
+			d.RangeNodes = append(d.RangeNodes, int32(u))
+			d.Ranges = append(d.Ranges, rg)
+			r.prevRange[u] = rg
+		}
+	}
+	d.FaultChanged = false
+	d.Dead = d.Dead[:0]
+	d.DownGateways = d.DownGateways[:0]
+	d.Partition = false
+	d.PartitionX = 0
+	if ep := w.FaultEpoch(); ep != r.prevEpoch {
+		r.prevEpoch = ep
+		d.FaultChanged = true
+		if f := w.flt; f != nil {
+			for u := 0; u < w.N(); u++ {
+				if f.dead[u] {
+					d.Dead = append(d.Dead, int32(u))
+				}
+				if f.gwDown[u] {
+					d.DownGateways = append(d.DownGateways, int32(u))
+				}
+			}
+			if f.partActive {
+				d.Partition = true
+				d.PartitionX = f.partX
+			}
+		}
+	}
+	if len(d.Nodes) == 0 && len(d.RangeNodes) == 0 && !d.FaultChanged {
+		return // static step: nothing to record
+	}
+	r.sink.EmitWorld(*d)
+}

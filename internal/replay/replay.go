@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -34,46 +35,107 @@ type Summary struct {
 	MeasureNames []string
 	// MeasuresByName holds each named measurement curve in recorded order.
 	MeasuresByName map[string][]float64
+	// DepositsPerStep is the number of route deposits in each step
+	// (length = last step with a deposit + 1; empty without deposits).
+	DepositsPerStep []int
+	// FaultSteps lists the steps at which fault events fired, in recorded
+	// order (one per fault epoch the harness reacted to).
+	FaultSteps []int
 	// FinishStep is the step of the finish event, or -1.
 	FinishStep int
 }
 
-// Summarize scans events (in recorded order) into a Summary.
-func Summarize(events []trace.Event) Summary {
-	s := Summary{
+// SummaryBuilder accumulates a Summary one event at a time — the streaming
+// form of Summarize. It never materialises the event stream, so it scales
+// to logs far larger than memory: feed it from trace.LogReader.Scan (or
+// any ordered event source) and call Summary when done. The zero value is
+// not ready; use NewSummaryBuilder.
+type SummaryBuilder struct {
+	s Summary
+}
+
+// NewSummaryBuilder returns an empty builder.
+func NewSummaryBuilder() *SummaryBuilder {
+	return &SummaryBuilder{s: Summary{
 		ByKind:         make(map[trace.Kind]int),
 		MeetingSizes:   make(map[int]int),
 		AgentMoves:     make(map[int32]int),
 		MeasuresByName: make(map[string][]float64),
 		FinishStep:     -1,
+	}}
+}
+
+// Add folds one event into the summary. Events must arrive in recorded
+// order.
+func (b *SummaryBuilder) Add(e trace.Event) {
+	s := &b.s
+	s.Events++
+	if e.Step+1 > s.Steps {
+		s.Steps = e.Step + 1
 	}
+	s.ByKind[e.Kind]++
+	switch e.Kind {
+	case trace.KindMeet:
+		s.MeetingSizes[int(e.Value)]++
+	case trace.KindMove:
+		s.AgentMoves[e.Agent]++
+	case trace.KindDeposit:
+		for len(s.DepositsPerStep) <= e.Step {
+			s.DepositsPerStep = append(s.DepositsPerStep, 0)
+		}
+		s.DepositsPerStep[e.Step]++
+	case trace.KindMeasure:
+		if s.MeasureName == "" {
+			s.MeasureName = e.Extra
+		}
+		if e.Extra == s.MeasureName {
+			s.Measures = append(s.Measures, e.Value)
+		}
+		if _, seen := s.MeasuresByName[e.Extra]; !seen {
+			s.MeasureNames = append(s.MeasureNames, e.Extra)
+		}
+		s.MeasuresByName[e.Extra] = append(s.MeasuresByName[e.Extra], e.Value)
+	case trace.KindFault:
+		s.FaultSteps = append(s.FaultSteps, e.Step)
+	case trace.KindFinish:
+		s.FinishStep = e.Step
+	}
+}
+
+// Summary returns the accumulated summary. The builder may keep absorbing
+// events afterwards; the returned value shares the builder's storage.
+func (b *SummaryBuilder) Summary() Summary { return b.s }
+
+// Summarize scans events (in recorded order) into a Summary.
+func Summarize(events []trace.Event) Summary {
+	b := NewSummaryBuilder()
 	for _, e := range events {
-		s.Events++
-		if e.Step+1 > s.Steps {
-			s.Steps = e.Step + 1
-		}
-		s.ByKind[e.Kind]++
-		switch e.Kind {
-		case trace.KindMeet:
-			s.MeetingSizes[int(e.Value)]++
-		case trace.KindMove:
-			s.AgentMoves[e.Agent]++
-		case trace.KindMeasure:
-			if s.MeasureName == "" {
-				s.MeasureName = e.Extra
-			}
-			if e.Extra == s.MeasureName {
-				s.Measures = append(s.Measures, e.Value)
-			}
-			if _, seen := s.MeasuresByName[e.Extra]; !seen {
-				s.MeasureNames = append(s.MeasureNames, e.Extra)
-			}
-			s.MeasuresByName[e.Extra] = append(s.MeasuresByName[e.Extra], e.Value)
-		case trace.KindFinish:
-			s.FinishStep = e.Step
-		}
+		b.Add(e)
 	}
-	return s
+	return b.Summary()
+}
+
+// Recovery computes post-fault reconvergence statistics for the named
+// measurement curve (Summary.MeasureName when name is empty), using the
+// recorded fault steps. The harness emits its fault event at the top of
+// the step on which it reacts, before that step's measurement settles the
+// response — so the first post-fault measurement the live harness accounts
+// is the step after the recorded one, and the recorded step itself is the
+// baseline. Shifting each fault step by +1 reproduces the live harness's
+// Recovery accounting bit for bit (pinned by TestLogRoundTripFaultedRuns).
+func (s Summary) Recovery(name string, tol float64) (stats.RecoveryStats, error) {
+	if name == "" {
+		name = s.MeasureName
+	}
+	series, ok := s.MeasuresByName[name]
+	if !ok {
+		return stats.RecoveryStats{}, fmt.Errorf("replay: no measurement curve named %q in trace", name)
+	}
+	shifted := make([]int, len(s.FaultSteps))
+	for i, fs := range s.FaultSteps {
+		shifted[i] = fs + 1
+	}
+	return stats.Recovery(series, shifted, tol), nil
 }
 
 // AgentPath reconstructs the node sequence one agent occupied, starting

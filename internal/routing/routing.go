@@ -102,7 +102,13 @@ type Scenario struct {
 	// Tracer, if set, receives structured events (moves, meetings,
 	// deposits, per-step connectivity). Events are emitted from
 	// sequential sections, so traces are reproducible with Workers <= 1.
+	// A Tracer that also implements trace.WorldSink (the binary LogWriter
+	// does) additionally receives snapshot anchors every AnchorEvery steps
+	// and per-step world deltas, making the log replayable offline.
 	Tracer trace.Tracer
+	// AnchorEvery is the snapshot-anchor cadence for WorldSink tracers
+	// (<= 0 uses network.DefaultAnchorEvery). Ignored for plain tracers.
+	AnchorEvery int
 	// Metrics, if set, receives live instrumentation: per-step phase
 	// timers, domain counters (moves, meetings by size, deposits,
 	// adoptions, evictions), and connectivity gauges. Instruments are
@@ -639,9 +645,18 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		faultRng = root.Named("faults")
 		lastEpoch = w.FaultEpoch()
 	}
+	// A WorldSink tracer additionally records the world's evolution —
+	// snapshot anchors plus per-step deltas — so the run can be replayed
+	// offline. The recorder only observes (no RNG, no world mutation), so
+	// recording cannot perturb the seeded result.
+	var rec *network.StepRecorder
+	if sink, ok := sc.Tracer.(trace.WorldSink); ok {
+		rec = network.NewStepRecorder(w, sink, sc.AnchorEvery)
+	}
 
 	sim.Run(sc.Steps, func(step int) bool {
 		m.steps.Inc()
+		rec.BeforeStep(step)
 		// Fault reaction: events fired inside the previous w.Step() advance
 		// the epoch; react before agents decide, in the sequential section,
 		// so the response is deterministic at any worker setting.
@@ -759,6 +774,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 			sc.Observer(step, w, tables)
 		}
 		w.Step()
+		rec.AfterWorldStep()
 		return false
 	})
 

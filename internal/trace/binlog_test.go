@@ -1,0 +1,427 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// sampleEvents exercises every encoder path: known and custom kinds,
+// sparse fields, repeated Extra strings (interning), step deltas including
+// a repeat and a jump.
+func sampleEvents() []Event {
+	return []Event{
+		{Step: 0, Kind: KindMove, Agent: 3, Node: 10, To: 11},
+		{Step: 0, Kind: KindMeet, Node: 11, Value: 2},
+		{Step: 1, Kind: KindDeposit, Agent: 3, Node: 11, To: 0, Value: 4},
+		{Step: 1, Kind: KindMeasure, Value: 0.52, Extra: "connectivity"},
+		{Step: 1, Kind: KindMeasure, Value: 0.11, Extra: "end-to-end"},
+		{Step: 2, Kind: KindMeasure, Value: 0.53, Extra: "connectivity"},
+		{Step: 7, Kind: KindFault, Value: 3, Extra: "node-down"},
+		{Step: 9, Kind: Kind("custom-kind"), Agent: 1, Extra: "custom-extra"},
+		{Step: 9, Kind: KindFinish},
+	}
+}
+
+func writeLog(t *testing.T, hdr Header, emit func(*LogWriter)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, hdr)
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	emit(lw)
+	if err := lw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func readAll(t *testing.T, data []byte) (*LogReader, []Record) {
+	t.Helper()
+	lr, err := NewLogReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewLogReader: %v", err)
+	}
+	var recs []Record
+	err = lr.Scan(func(r Record) error {
+		// Deep-copy: Delta slices and Anchor alias reader scratch.
+		c := r
+		c.Delta.Nodes = append([]int32(nil), r.Delta.Nodes...)
+		c.Delta.X = append([]float64(nil), r.Delta.X...)
+		c.Delta.Y = append([]float64(nil), r.Delta.Y...)
+		c.Delta.RangeNodes = append([]int32(nil), r.Delta.RangeNodes...)
+		c.Delta.Ranges = append([]float64(nil), r.Delta.Ranges...)
+		c.Delta.Dead = append([]int32(nil), r.Delta.Dead...)
+		c.Delta.DownGateways = append([]int32(nil), r.Delta.DownGateways...)
+		c.Anchor = append([]byte(nil), r.Anchor...)
+		recs = append(recs, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return lr, recs
+}
+
+func TestBinlogEventRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	data := writeLog(t, Header{BaseSeed: 7, Config: []byte(`{"x":1}`)}, func(lw *LogWriter) {
+		for _, e := range events {
+			lw.Emit(e)
+		}
+	})
+	lr, recs := readAll(t, data)
+	if lr.Header().BaseSeed != 7 {
+		t.Fatalf("header base seed = %d, want 7", lr.Header().BaseSeed)
+	}
+	if lr.Header().ConfigHash != ConfigHashOf([]byte(`{"x":1}`)) {
+		t.Fatalf("header config hash not derived from config")
+	}
+	if len(recs) != len(events) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(events))
+	}
+	for i, r := range recs {
+		if r.Kind != RecordEvent {
+			t.Fatalf("record %d kind = %v, want event", i, r.Kind)
+		}
+		if r.Event != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, r.Event, events[i])
+		}
+	}
+}
+
+func TestBinlogDeterministicBytes(t *testing.T) {
+	emit := func(lw *LogWriter) {
+		for _, e := range sampleEvents() {
+			lw.Emit(e)
+		}
+		lw.EmitAnchor(10, []byte(`{"version":2}`))
+		lw.EmitWorld(WorldDelta{Step: 11, Nodes: []int32{1, 4}, X: []float64{0.5, 1.5}, Y: []float64{2.5, 3.5}})
+	}
+	hdr := Header{BaseSeed: 3, Config: []byte(`{"s":"a"}`)}
+	a := writeLog(t, hdr, emit)
+	b := writeLog(t, hdr, emit)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs produced different log bytes (%d vs %d)", len(a), len(b))
+	}
+}
+
+func TestBinlogWorldStreamRoundTrip(t *testing.T) {
+	anchor0 := []byte(`{"version":2,"positions":[]}`)
+	anchor2 := []byte(`{"version":2,"positions":[{}]}`)
+	d1 := WorldDelta{Step: 1, Nodes: []int32{0, 2}, X: []float64{1, 2}, Y: []float64{3, 4},
+		RangeNodes: []int32{2}, Ranges: []float64{9.5}}
+	d2 := WorldDelta{Step: 2, Nodes: []int32{2}, X: []float64{2.25}, Y: []float64{4.5},
+		FaultChanged: true, Dead: []int32{5, 7}, DownGateways: []int32{1}, Partition: true, PartitionX: 42.5}
+	d3 := WorldDelta{Step: 3, Nodes: []int32{2}, X: []float64{2.5}, Y: []float64{4.75},
+		FaultChanged: true}
+	data := writeLog(t, Header{}, func(lw *LogWriter) {
+		lw.EmitAnchor(0, anchor0)
+		lw.EmitWorld(d1)
+		lw.EmitAnchor(2, anchor2)
+		lw.EmitWorld(d2)
+		lw.EmitWorld(d3)
+	})
+	lr, recs := readAll(t, data)
+	want := []Record{
+		{Kind: RecordAnchor, Step: 0, Anchor: anchor0},
+		{Kind: RecordDelta, Delta: d1},
+		{Kind: RecordAnchor, Step: 2, Anchor: anchor2},
+		{Kind: RecordDelta, Delta: d2},
+		{Kind: RecordDelta, Delta: d3},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if fmt.Sprintf("%+v", recs[i]) != fmt.Sprintf("%+v", want[i]) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, recs[i], want[i])
+		}
+	}
+
+	// Seeking: the same tail must decode identically when the scan starts
+	// at the second anchor instead of the file start (XOR chain reset).
+	idx, err := lr.AnchorIndexBefore(3)
+	if err != nil {
+		t.Fatalf("AnchorIndexBefore: %v", err)
+	}
+	blocks, _ := lr.Blocks()
+	if blocks[idx].First != 2 {
+		t.Fatalf("nearest anchor to step 3 observes step %d, want 2", blocks[idx].First)
+	}
+	var tail []string
+	err = lr.ScanFrom(idx, func(r Record) error {
+		tail = append(tail, fmt.Sprintf("%+v", r))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanFrom: %v", err)
+	}
+	if len(tail) != 3 {
+		t.Fatalf("tail decoded %d records, want 3", len(tail))
+	}
+	for i, w := range want[2:] {
+		if tail[i] != fmt.Sprintf("%+v", w) {
+			t.Fatalf("tail record %d:\n got %s\nwant %+v", i, tail[i], w)
+		}
+	}
+}
+
+func TestBinlogSeekRequiresAnchor(t *testing.T) {
+	data := writeLog(t, Header{}, func(lw *LogWriter) {
+		lw.Emit(Event{Step: 0, Kind: KindMove})
+		lw.EmitAnchor(1, []byte(`{}`))
+	})
+	lr, err := NewLogReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.ScanFrom(0, func(Record) error { return nil }); err != nil {
+		t.Fatalf("ScanFrom(0) should always be allowed: %v", err)
+	}
+	// Block 0 holds events, block 1 the anchor: starting mid-file at a
+	// non-anchor block must be refused (the XOR chain state is unknown).
+	blocks, _ := lr.Blocks()
+	for i, b := range blocks {
+		if b.Type != blockAnchor && i > 0 {
+			if err := lr.ScanFrom(i, func(Record) error { return nil }); err == nil {
+				t.Fatalf("ScanFrom(%d) on a non-anchor block succeeded", i)
+			}
+		}
+	}
+}
+
+// TestBinlogCorruption: truncation, bit flips in the payload (CRC), and a
+// future format version must all surface as errors — never panics, never
+// silently wrong data.
+func TestBinlogCorruption(t *testing.T) {
+	data := writeLog(t, Header{BaseSeed: 1}, func(lw *LogWriter) {
+		for _, e := range sampleEvents() {
+			lw.Emit(e)
+		}
+		lw.EmitAnchor(10, []byte(`{"version":2}`))
+	})
+
+	scan := func(b []byte) error {
+		lr, err := NewLogReader(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		return lr.Scan(func(Record) error { return nil })
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{len(data) - 1, len(data) - 7, len(data) / 2, 12, 3} {
+			if cut < 0 || cut >= len(data) {
+				continue
+			}
+			if err := scan(data[:cut]); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncation at %d: got %v, want ErrCorrupt", cut, err)
+			}
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		// Flip a byte inside the last block's compressed payload: the CRC
+		// must catch it.
+		mut := append([]byte(nil), data...)
+		mut[len(mut)-3] ^= 0xFF
+		if err := scan(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("payload bit flip: got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("newer-version", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		mut[8] = LogVersion + 1 // version varint directly follows the magic
+		_, err := NewLogReader(bytes.NewReader(mut))
+		if err == nil || !strings.Contains(err.Error(), "newer") {
+			t.Fatalf("future version: got %v, want newer-version error", err)
+		}
+	})
+
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		mut[0] = 'X'
+		if _, err := NewLogReader(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n      int
+	wrote  int
+	failed bool
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.wrote+len(p) > f.n {
+		f.failed = true
+		return 0, errors.New("sink full")
+	}
+	f.wrote += len(p)
+	return len(p), nil
+}
+
+// TestWriterFailFast pins the JSONL writer's error latch: the first write
+// error makes every subsequent Emit a no-op immediately (n stops
+// advancing), and Close reports the error.
+func TestWriterFailFast(t *testing.T) {
+	fw := &failWriter{n: 4096} // one bufio flush fits, the next fails
+	w := NewWriter(fw)
+	e := Event{Kind: KindMeasure, Value: 0.123456789, Extra: "connectivity"}
+	for i := 0; i < 200 && w.Err() == nil; i++ {
+		e.Step = i
+		w.Emit(e)
+	}
+	if w.Err() == nil {
+		t.Fatal("writer never latched the sink error")
+	}
+	latched := w.Count()
+	for i := 0; i < 50; i++ {
+		w.Emit(e)
+	}
+	if w.Count() != latched {
+		t.Fatalf("Emit after latched error still counted: %d -> %d", latched, w.Count())
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close returned nil after a latched error")
+	}
+}
+
+// TestLogWriterFailFast pins the same latch on the binary writer: once a
+// block write fails, Emit/EmitAnchor turn into no-ops and Close reports.
+func TestLogWriterFailFast(t *testing.T) {
+	fw := &failWriter{n: 64} // header fits; the first block write fails
+	lw, err := NewLogWriter(fw, Header{})
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	lw.Emit(Event{Step: 0, Kind: KindMove})
+	lw.EmitAnchor(0, []byte(`{}`)) // forces a block flush against the dead sink
+	if !fw.failed {
+		t.Fatal("anchor flush never reached the failing sink")
+	}
+	before := lw.Count()
+	for i := 0; i < 50; i++ {
+		lw.Emit(Event{Step: i, Kind: KindMove})
+	}
+	if lw.Count() != before {
+		t.Fatalf("Emit after latched error still counted: %d -> %d", before, lw.Count())
+	}
+	if err := lw.Close(); err == nil {
+		t.Fatal("Close returned nil after a latched write error")
+	}
+}
+
+// TestLogMetricsNoPerturbation pins the observability contract: attaching
+// a metrics registry must not change a single byte of the log, and the
+// counters must agree with the writer's own accounting.
+func TestLogMetricsNoPerturbation(t *testing.T) {
+	emit := func(lw *LogWriter) {
+		for _, e := range sampleEvents() {
+			lw.Emit(e)
+		}
+		lw.EmitAnchor(10, []byte(`{"version":2}`))
+		lw.EmitWorld(WorldDelta{Step: 11, Nodes: []int32{0}, X: []float64{1}, Y: []float64{2}})
+	}
+	plain := writeLog(t, Header{BaseSeed: 9}, emit)
+
+	reg := metrics.NewRegistry()
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, Header{BaseSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.Instrument(reg)
+	emit(lw)
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, buf.Bytes()) {
+		t.Fatal("attaching a metrics registry changed the log bytes")
+	}
+
+	snap := reg.Snapshot(nil)
+	want := map[string]uint64{
+		"trace_events_total":   uint64(len(sampleEvents())),
+		"trace_bytes_written":  uint64(buf.Len()),
+		"trace_blocks_flushed": uint64(len(lw.Index())),
+	}
+	for name, w := range want {
+		if got := snap.Counter(name); got != w {
+			t.Fatalf("%s = %v, want %v", name, got, w)
+		}
+	}
+
+	// Reader side: replay_blocks_read counts every decoded block.
+	rreg := metrics.NewRegistry()
+	lr, err := NewLogReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Instrument(rreg)
+	if err := lr.Scan(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := rreg.Snapshot(nil).Counter("replay_blocks_read"); got != uint64(len(lw.Index())) {
+		t.Fatalf("replay_blocks_read = %v, want %d", got, len(lw.Index()))
+	}
+}
+
+// TestFileLogSidecarIndex: CreateLog writes a sidecar index on Close;
+// OpenLog uses it, and still works (scanning) when the sidecar is gone.
+func TestFileLogSidecarIndex(t *testing.T) {
+	path := t.TempDir() + "/run.alog"
+	fl, err := CreateLog(path, Header{BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sampleEvents() {
+		fl.Emit(e)
+	}
+	fl.EmitAnchor(10, []byte(`{"version":2}`))
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string) {
+		lr, closer, err := OpenLog(path)
+		if err != nil {
+			t.Fatalf("%s: OpenLog: %v", label, err)
+		}
+		defer closer()
+		blocks, err := lr.Blocks()
+		if err != nil {
+			t.Fatalf("%s: Blocks: %v", label, err)
+		}
+		if len(blocks) == 0 {
+			t.Fatalf("%s: no blocks", label)
+		}
+		n := 0
+		if err := lr.Scan(func(r Record) error {
+			if r.Kind == RecordEvent {
+				n++
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: Scan: %v", label, err)
+		}
+		if n != len(sampleEvents()) {
+			t.Fatalf("%s: decoded %d events, want %d", label, n, len(sampleEvents()))
+		}
+	}
+	check("with sidecar")
+	if err := os.Remove(path + ".idx"); err != nil {
+		t.Fatal(err)
+	}
+	check("scan fallback")
+}

@@ -44,6 +44,49 @@ type Tracer interface {
 	Emit(Event)
 }
 
+// WorldDelta is one step's world evolution: the nodes whose positions
+// changed (ascending IDs with their new coordinates), the nodes whose radio
+// ranges changed, and — when a fault epoch advanced — the complete new
+// fault state. Step labels the simulation step that observes the new state.
+// Harnesses emit one delta after each world step (empty deltas are
+// skipped), so a log's anchor snapshots plus the delta tail reconstruct the
+// world at any recorded step.
+type WorldDelta struct {
+	Step int
+
+	// Nodes lists position changes in ascending node order; X[i], Y[i] are
+	// node Nodes[i]'s new coordinates.
+	Nodes []int32
+	X, Y  []float64
+
+	// RangeNodes lists radio-range changes in ascending node order;
+	// Ranges[i] is node RangeNodes[i]'s new current range.
+	RangeNodes []int32
+	Ranges     []float64
+
+	// FaultChanged reports that the fault state below replaces the previous
+	// one wholesale (it is a full state, not a diff): dead nodes,
+	// out-of-service gateways, and the active partition cut.
+	FaultChanged bool
+	Dead         []int32
+	DownGateways []int32
+	Partition    bool
+	PartitionX   float64
+}
+
+// WorldSink is a Tracer that can additionally absorb world evolution:
+// periodic full snapshot anchors (opaque serialised network.Snapshot JSON)
+// and per-step world deltas. The binary LogWriter implements it; the plain
+// JSONL Writer deliberately does not (it is the debug format for the event
+// stream alone).
+type WorldSink interface {
+	Tracer
+	// EmitAnchor records a full world snapshot observed at step.
+	EmitAnchor(step int, snapshot []byte)
+	// EmitWorld records one step's world delta.
+	EmitWorld(d WorldDelta)
+}
+
 // Writer streams events as JSON Lines. Construct with NewWriter and Close
 // (or Flush) when done; Close also surfaces the first error swallowed by
 // Emit, so callers learn about silently dropped events.
@@ -61,17 +104,29 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Emit writes the event. Encoding errors are deliberately swallowed —
-// tracing must never fail a simulation — but stop the writer counting and
-// are remembered for Close to report.
+// Emit writes the event. Encoding errors never fail a simulation — but
+// they latch the writer: the first error makes every subsequent Emit an
+// immediate no-op (no further encoding work, no further writes against a
+// sink that already failed), and Close reports it.
 func (w *Writer) Emit(e Event) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return // error-latched fast path: drop without re-encoding
+	}
 	if err := w.enc.Encode(e); err == nil {
 		w.n++
-	} else if w.err == nil {
+	} else {
 		w.err = err
 	}
+}
+
+// Err returns the writer's latched error, if any, without flushing. Once
+// non-nil, every further Emit is a no-op.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Count returns the number of events written.

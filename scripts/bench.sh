@@ -177,6 +177,70 @@ else
   echo "wrote $sjson"
 fi
 
+# --- durable event logs: encode/decode throughput + Fig8 trace density ---
+# BenchmarkTraceEncode/Decode serialise a routing-shaped stream (events +
+# world deltas) through the JSONL debug format and the compressed binary
+# log. The size tier then records ONE canonical 250-node routing run (the
+# Fig 8 network) both ways and compares files on disk; the binary log must
+# be >=5x smaller than the JSONL even though it additionally carries the
+# replayable world stream. That floor is enforced here, so CI's bench
+# smoke fails if the encoding regresses.
+traw="$out/bench_trace.txt"
+tjson="$out/BENCH_trace.json"
+
+{
+  echo "# Trace serialisation — JSONL debug format vs compressed binary log"
+  echo "# host: $(nproc) CPU(s), $(go version | cut -d' ' -f3-)"
+  echo "# benchtime: $benchtime"
+  go test -run '^$' -benchtime "$benchtime" -benchmem \
+    -bench 'BenchmarkTrace(Encode|Decode)' ./internal/trace
+} | tee "$traw"
+
+tracedir=$(mktemp -d)
+go run ./cmd/routing -runs 1 -trace "$tracedir/fig8.jsonl" -binlog "$tracedir/fig8.alog" >/dev/null
+jsonl_bytes=$(wc -c < "$tracedir/fig8.jsonl")
+binary_bytes=$(wc -c < "$tracedir/fig8.alog")
+rm -rf "$tracedir"
+echo "fig8 trace: jsonl=${jsonl_bytes}B binary=${binary_bytes}B" | tee -a "$traw"
+
+awk -v jb="$jsonl_bytes" -v bb="$binary_bytes" '
+/^BenchmarkTrace/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (!(name in ns)) order[n++] = name
+  ns[name] = $3
+  for (i = 4; i < NF; i++) {
+    if ($(i + 1) == "MB/s") mbs[name] = $i
+    if ($(i + 1) == "bytes/event") bpe[name] = $i
+    if ($(i + 1) == "allocs/op") allocs[name] = $i
+  }
+}
+END {
+  printf "[\n"
+  for (i = 0; i < n; i++) {
+    nm = order[i]
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"allocs_per_op\": %s", \
+      nm, ns[nm], mbs[nm], allocs[nm]
+    if (nm in bpe) printf ", \"bytes_per_event\": %s", bpe[nm]
+    printf "},\n"
+  }
+  printf "  {\"name\": \"fig8_trace_size\", \"jsonl_bytes\": %d, \"binary_bytes\": %d, \"jsonl_over_binary\": %.3f}\n", \
+    jb, bb, jb / bb
+  printf "]\n"
+}' "$traw" > "$tjson"
+if [ "$out" = "results" ]; then
+  cp "$tjson" BENCH_trace.json
+  echo "wrote $tjson (copied to ./BENCH_trace.json)"
+else
+  echo "wrote $tjson"
+fi
+
+ratio_ok=$(awk -v jb="$jsonl_bytes" -v bb="$binary_bytes" 'BEGIN { print (jb >= 5 * bb) ? 1 : 0 }')
+if [ "$ratio_ok" != 1 ]; then
+  echo "FAIL: binary log is only $(awk -v jb="$jsonl_bytes" -v bb="$binary_bytes" 'BEGIN{printf "%.2f", jb/bb}')x smaller than JSONL (floor: 5x)" >&2
+  exit 1
+fi
+
 if [ "$benchtime" != "1x" ]; then
   {
     echo ""

@@ -65,6 +65,34 @@ go test -race -count=1 \
   -run 'FaultedRunEquivalence|FaultCountersPinned|RoutingChurnResultPinned' \
   . ./internal/network ./internal/routing
 
+echo "== record/replay determinism gate"
+# A recorded binary log must reconstruct the world bit-identically from
+# snapshot anchors + deltas: record one small dynamic run and one faulted
+# (churn) run, then verify each in full lockstep and at a mid-run seek.
+replaydir=$(mktemp -d)
+go build -o "$replaydir" ./cmd/routing ./cmd/replay
+"$replaydir/routing" -nodes 60 -edges 400 -gateways 4 -agents 20 -steps 80 \
+  -runs 1 -anchorevery 25 -binlog "$replaydir/run.alog" >/dev/null
+"$replaydir/replay" -log "$replaydir/run.alog" -verify | grep -q '^verify ok'
+"$replaydir/replay" -log "$replaydir/run.alog" -step 40 -verify | grep -q '^verify step=40 ok'
+"$replaydir/routing" -nodes 60 -edges 400 -gateways 4 -agents 20 -steps 120 \
+  -runs 1 -anchorevery 30 -faults churn -binlog "$replaydir/churn.alog" >/dev/null
+"$replaydir/replay" -log "$replaydir/churn.alog" -verify | grep -q '^verify ok'
+"$replaydir/replay" -log "$replaydir/churn.alog" -step 77 -verify | grep -q '^verify step=77 ok'
+rm -rf "$replaydir"
+
+echo "== corrupt-log gate (framing fuzz seeds + corruption table, -race)"
+# Truncated, bit-flipped, version-bumped, and garbage logs must produce
+# clean errors — never panics or runaway allocations. The fuzz targets run
+# their seed corpus as ordinary tests here; scheduled fuzzing can go
+# deeper with: go test -fuzz FuzzLogReader ./internal/trace
+go test -race -count=1 -run 'TestBinlogCorruption|FuzzLogReader|FuzzRead|LogWriterFailFast|WriterFailFast' \
+  ./internal/trace
+
+echo "== replay determinism tests (pinned run + faulted round-trips)"
+go test -count=1 -run 'TestReplayMatchesPinnedRun' .
+go test -count=1 -run 'TestLogRoundTrip' ./internal/replay
+
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
 
@@ -77,6 +105,8 @@ test -s "$benchout/BENCH_incremental.json"
 grep -q '"speedup_vs_rebuild"' "$benchout/BENCH_incremental.json"
 test -s "$benchout/BENCH_shard.json"
 grep -q '"speedup_vs_incremental"' "$benchout/BENCH_shard.json"
+test -s "$benchout/BENCH_trace.json"
+grep -q '"jsonl_over_binary"' "$benchout/BENCH_trace.json"
 rm -rf "$benchout"
 
 echo "== metrics exposition smoke"
