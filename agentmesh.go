@@ -114,6 +114,13 @@ func RunMappingBatch(worldFor func(run int) (*World, error), sc MappingScenario,
 	return mapping.RunMany(worldFor, sc, runs, seed)
 }
 
+// RunMappingBatchCached is RunMappingBatch with the world's evolution
+// recorded once (from a world supplied by build) and replayed for every
+// run — bit-identical aggregates at a fraction of the world-step cost.
+func RunMappingBatchCached(build func() (*World, error), sc MappingScenario, runs int, seed uint64) (MappingBatch, error) {
+	return mapping.RunManyCached(build, sc, runs, seed)
+}
+
 // RoutingScenario configures a dynamic-routing run (population, policy,
 // communication, stigmergy, history size, run length).
 type RoutingScenario = routing.Scenario
@@ -138,6 +145,14 @@ func RunRouting(w *World, sc RoutingScenario, seed uint64) (RoutingResult, error
 // paper's fixed node placement and movement trace.
 func RunRoutingBatch(worldFor func(run int) (*World, error), sc RoutingScenario, runs int, seed uint64) (RoutingBatch, error) {
 	return routing.RunMany(worldFor, sc, runs, seed)
+}
+
+// RunRoutingBatchCached is RunRoutingBatch with the world's movement
+// trace recorded once (from a world supplied by build) and replayed for
+// every run — bit-identical aggregates at a fraction of the world-step
+// cost.
+func RunRoutingBatchCached(build func() (*World, error), sc RoutingScenario, runs int, seed uint64) (RoutingBatch, error) {
+	return routing.RunManyCached(build, sc, runs, seed)
 }
 
 // MetricsRegistry collects counters, gauges, histograms and phase timers

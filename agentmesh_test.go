@@ -2,6 +2,7 @@ package agentmesh
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -102,6 +103,49 @@ func TestEndToEndRouting(t *testing.T) {
 	}
 	if batch.Mean.N != 3 {
 		t.Fatalf("batch runs = %d", batch.Mean.N)
+	}
+}
+
+// TestCachedBatchFacade pins the facade's record-once batch runners to
+// their live-stepping counterparts: identical aggregates, same seeds.
+func TestCachedBatchFacade(t *testing.T) {
+	spec := NetworkSpec{
+		N: 80, TargetEdges: 560, ArenaSide: 60, RangeSpread: 0.25,
+		Mobility: MobilityRandom, MobileFraction: 0.5,
+		MinSpeed: 0.1, MaxSpeed: 0.5, Gateways: 6, RangeBoost: 1.5,
+	}
+	rsc := RoutingScenario{Agents: 25, Kind: PolicyOldestNode, Steps: 150}
+	live, err := RunRoutingBatch(
+		func(int) (*World, error) { return GenerateNetwork(spec, 3) }, rsc, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunRoutingBatchCached(
+		func() (*World, error) { return GenerateNetwork(spec, 3) }, rsc, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, cached) {
+		t.Error("cached routing batch differs from live batch")
+	}
+
+	mspec := NetworkSpec{
+		N: 50, TargetEdges: 300, ArenaSide: 40, RangeSpread: 0.25,
+		RequireStrong: true,
+	}
+	msc := MappingScenario{Agents: 5, Kind: PolicyConscientious, Cooperate: true}
+	mlive, err := RunMappingBatch(
+		func(int) (*World, error) { return GenerateNetwork(mspec, 4) }, msc, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcached, err := RunMappingBatchCached(
+		func() (*World, error) { return GenerateNetwork(mspec, 4) }, msc, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mlive, mcached) {
+		t.Error("cached mapping batch differs from live batch")
 	}
 }
 

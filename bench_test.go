@@ -329,11 +329,13 @@ func benchStepWorld(b *testing.B, n int) *network.World {
 // pre-incremental full per-step recompute; mode=incremental is the
 // churn-proportional engine (the default for dynamic worlds); mode=sharded
 // steps the incremental engine as S concurrent spatial bands with
-// deterministic halo exchange. All modes produce bit-identical topologies
-// (pinned by the equivalence and fuzz tests in internal/network), so the
-// ratios are pure maintenance cost. The n=100000 tier adds the sharded
-// modes — that is the scale where per-step work is large enough for
-// intra-step parallelism to pay.
+// deterministic halo exchange; mode=replay applies a pre-recorded
+// trajectory — no mobility RNG, no disc scans, no grid — the engine the
+// sweep harness amortises across replications. All modes produce
+// bit-identical topologies (pinned by the equivalence and fuzz tests in
+// internal/network), so the ratios are pure maintenance cost. The
+// n=100000 tier adds the sharded modes — that is the scale where per-step
+// work is large enough for intra-step parallelism to pay.
 func BenchmarkWorldStep(b *testing.B) {
 	benchWorldStep := func(b *testing.B, n, shards int, rebuild bool) {
 		w := benchStepWorld(b, n)
@@ -355,12 +357,47 @@ func BenchmarkWorldStep(b *testing.B) {
 			w.Step()
 		}
 	}
+	// benchWorldStepReplay records `record` steps of the same warmed world
+	// once (untimed), then times pure delta application on replay worlds,
+	// re-arming a fresh one with the timer stopped whenever the recording
+	// is exhausted.
+	benchWorldStepReplay := func(b *testing.B, n, record int) {
+		w := benchStepWorld(b, n)
+		for i := 0; i < 150; i++ {
+			w.Step()
+		}
+		traj, err := network.RecordTrajectory(w, record, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw, err := traj.World()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rw.TrajectoryRemaining() == 0 {
+				b.StopTimer()
+				if rw, err = traj.World(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			rw.Step()
+		}
+	}
 	for _, n := range []int{500, 2000, 8000} {
 		for _, mode := range []string{"rebuild", "incremental"} {
 			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
 				benchWorldStep(b, n, 1, mode == "rebuild")
 			})
 		}
+	}
+	for _, n := range []int{500, 8000} {
+		b.Run(fmt.Sprintf("n=%d/mode=replay", n), func(b *testing.B) {
+			benchWorldStepReplay(b, n, 600)
+		})
 	}
 	const big = 100000
 	for _, mode := range []string{"rebuild", "incremental"} {
@@ -373,4 +410,9 @@ func BenchmarkWorldStep(b *testing.B) {
 			benchWorldStep(b, big, s, false)
 		})
 	}
+	// 256 recorded steps keeps the n=100000 recording's memory bounded
+	// while still amortising the untimed re-arm across the timed loop.
+	b.Run(fmt.Sprintf("n=%d/mode=replay", big), func(b *testing.B) {
+		benchWorldStepReplay(b, big, 256)
+	})
 }

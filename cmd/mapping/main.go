@@ -7,6 +7,7 @@
 //	mapping -agents 15 -policy conscientious -cooperate -stigmergy
 //	mapping -agents 1  -policy random -runs 10 -curve
 //	mapping -nodes 100 -edges 700 -agents 8 -policy super -epsilon 0.1
+//	mapping -agents 15 -faults churn                 # map while nodes die and revive
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
@@ -40,6 +42,7 @@ func main() {
 		runs         = flag.Int("runs", 40, "independent runs")
 		seed         = flag.Uint64("seed", 1, "root seed (network and placements)")
 		maxSteps     = flag.Int("maxsteps", 200000, "per-run step budget")
+		faultPreset  = flag.String("faults", "", "fault preset to inject (churn|gwfail|partition|degrade|blackout)")
 		workers      = flag.Int("workers", runtime.NumCPU(), "simulation workers")
 		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs (aggregates are identical at any value)")
 		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
@@ -80,6 +83,22 @@ func main() {
 		RunWorkers:    *runWorkers,
 		ShardWorkers:  *shardWorkers,
 	}
+	if *faultPreset != "" {
+		// Cap the preset horizon well below the step budget: mapping runs
+		// finish in hundreds of steps, so a schedule spread over the whole
+		// budget would fire almost every event after the map is complete.
+		horizon := *maxSteps
+		if horizon > 2000 {
+			horizon = 2000
+		}
+		sched, err := faults.Preset(*faultPreset, w.N(), w.Gateways(), horizon, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapping:", err)
+			os.Exit(2)
+		}
+		sc.Faults = sched
+		fmt.Printf("faults: preset=%s events=%d\n", *faultPreset, sched.Len())
+	}
 	var reg *metrics.Registry
 	if *metricsFile != "" || *httpAddr != "" {
 		reg = metrics.NewRegistry()
@@ -116,13 +135,12 @@ func main() {
 		}
 		fmt.Printf("binary log of one run written to %s (%d events)\n", *binlogFile, n)
 	}
-	// Parallel replication needs a fresh world per run; the same spec and
-	// seed regenerate an identical topology, so results do not change.
-	worldFor := func(int) (*network.World, error) { return w, nil }
-	if *runWorkers > 1 {
-		worldFor = func(int) (*network.World, error) { return netgen.Generate(spec, *seed) }
-	}
-	agg, err := mapping.RunMany(worldFor, sc, *runs, *seed)
+	// Record the world trajectory once and replay it for every run —
+	// bit-identical to stepping each run's world live, and every run gets
+	// its own world, so replication parallelises safely and fault
+	// schedules (which fire at absolute world steps) stay aligned.
+	build := func() (*network.World, error) { return netgen.Generate(spec, *seed) }
+	agg, err := mapping.RunManyCached(build, sc, *runs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapping:", err)
 		os.Exit(1)
@@ -135,6 +153,9 @@ func main() {
 	fmt.Printf("overhead: moves=%d meetings=%d topo-records=%d marks=%d\n",
 		agg.Overhead.Moves, agg.Overhead.Meetings,
 		agg.Overhead.TopoRecordsReceived, agg.Overhead.MarksLeft)
+	if *faultPreset != "" {
+		fmt.Printf("stranded agents respawned: %d\n", agg.Stranded)
+	}
 	if *metricsFile != "" {
 		if err := metrics.WriteFile(reg, *metricsFile); err != nil {
 			fmt.Fprintln(os.Stderr, "mapping:", err)

@@ -70,8 +70,9 @@ func main() {
 	spec.MinSpeed = *minSpeed
 	spec.MaxSpeed = *maxSpeed
 
-	worldFor := func(int) (*network.World, error) { return netgen.Generate(spec, *seed) }
-	w, err := worldFor(0)
+	build := func() (*network.World, error) { return netgen.Generate(spec, *seed) }
+	worldFor := func(int) (*network.World, error) { return build() }
+	w, err := build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "routing:", err)
 		os.Exit(1)
@@ -138,7 +139,9 @@ func main() {
 		}
 		fmt.Printf("binary log of one run written to %s (%d events)\n", *binlogFile, n)
 	}
-	agg, err := routing.RunMany(worldFor, sc, *runs, *seed)
+	// Record the world trajectory once and replay it for every run —
+	// bit-identical to stepping each run's world live.
+	agg, err := routing.RunManyCached(build, sc, *runs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "routing:", err)
 		os.Exit(1)

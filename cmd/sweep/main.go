@@ -10,6 +10,13 @@
 //	sweep -scenario routing -param agents -values 10,50,100 -pointworkers 4 -runworkers 2
 //	sweep -scenario routing -param agents -values 50,100 -faults churn
 //	sweep -scenario routing -param agents -values 50,100 -faults partition -communicate
+//	sweep -scenario mapping -param agents -values 5,15 -faults churn
+//	sweep -scenario routing -param agents -values 50,100 -worldcache=0   # force live stepping
+//
+// By default the swept world's evolution is recorded once (positions,
+// link churn, fault transitions) and replayed for every point and run —
+// bit-identical CSV at a fraction of the world-step cost. -worldcache=0
+// re-steps the world live for every run instead.
 package main
 
 import (
@@ -46,7 +53,8 @@ func main() {
 		runWorkers   = flag.Int("runworkers", 1, "concurrent independent runs per point (aggregates are identical at any value)")
 		shardWorkers = flag.Int("shardworkers", 1, "concurrent spatial shards per world step (topologies are identical at any value)")
 		pointWorkers = flag.Int("pointworkers", 1, "concurrent sweep points (rows still emitted in sweep order)")
-		faultPreset  = flag.String("faults", "", "routing: fault preset to inject (churn|gwfail|partition|degrade|blackout)")
+		worldCache   = flag.Bool("worldcache", true, "record the world trajectory once and replay it for every point and run (results are bit-identical)")
+		faultPreset  = flag.String("faults", "", "fault preset to inject (churn|gwfail|partition|degrade|blackout)")
 		strandedKill = flag.Bool("strandedkill", false, "routing: remove stranded agents instead of respawning them")
 		metricsFile  = flag.String("metrics", "", "dump the whole-sweep metrics snapshot to this file (Prometheus text; .json for JSON)")
 		httpAddr     = flag.String("http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060) while sweeping")
@@ -78,16 +86,12 @@ func main() {
 	cfg := sweepConfig{
 		runs: *runs, seed: *seed,
 		workers: *workers, runWorkers: *runWorkers, shardWorkers: *shardWorkers,
-		pointWorkers: *pointWorkers,
-		faultPreset:  *faultPreset, strandedKill: *strandedKill,
+		pointWorkers: *pointWorkers, worldCache: *worldCache,
+		faultPreset: *faultPreset, strandedKill: *strandedKill,
 		reg: reg,
 	}
 	switch *scenario {
 	case "mapping":
-		if cfg.faultPreset != "" {
-			err = fmt.Errorf("-faults is only supported for -scenario routing")
-			break
-		}
 		err = sweepMapping(*param, vals, *policy, *cooperate, *stigmergy, cfg)
 	case "routing":
 		err = sweepRouting(*param, vals, *policy, *communicate, *stigmergy, cfg)
@@ -114,6 +118,7 @@ type sweepConfig struct {
 	runWorkers   int
 	shardWorkers int
 	pointWorkers int
+	worldCache   bool
 	faultPreset  string
 	strandedKill bool
 	reg          *metrics.Registry
@@ -188,30 +193,58 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 	default:
 		return fmt.Errorf("unknown mapping policy %q", policy)
 	}
+	const maxSteps = 200000
 	pool := parallel.NewPool(cfg.pointWorkers)
-	// The mapping network is static, but concurrent points (or concurrent
-	// runs within a point) each need their own world; the same spec and
-	// seed regenerate an identical topology, so results do not change.
-	var worldFor func(int) (*network.World, error)
-	if pool.Parallel() || cfg.runWorkers > 1 {
-		worldFor = func(int) (*network.World, error) {
-			return netgen.Generate(netgen.Mapping300(), cfg.seed)
+	build := func() (*network.World, error) {
+		return netgen.Generate(netgen.Mapping300(), cfg.seed)
+	}
+	w, err := build()
+	if err != nil {
+		return err
+	}
+	// One immutable schedule drives every point and run. The preset horizon
+	// is capped well below the step budget: mapping runs finish in hundreds
+	// of steps, so a schedule spread over all 200k would fire almost every
+	// event after the map is already complete.
+	var sched *faults.Schedule
+	if cfg.faultPreset != "" {
+		horizon := maxSteps
+		if horizon > 2000 {
+			horizon = 2000
 		}
-	} else {
-		w, err := netgen.Generate(netgen.Mapping300(), cfg.seed)
+		sched, err = faults.Preset(cfg.faultPreset, w.N(), w.Gateways(), horizon, cfg.seed)
 		if err != nil {
 			return err
 		}
+	}
+	// The mapping network is static, but concurrent points or runs — and
+	// any faulted run, whose schedule fires at absolute world steps — each
+	// need their own world.
+	var worldFor func(int) (*network.World, error)
+	switch {
+	case cfg.worldCache && cfg.runs*len(vals) > 1:
+		// Record the world's trajectory once; every point and run replays
+		// it bit-identically in O(changes) per step.
+		src := network.NewTrajectorySource(maxSteps, 0, sched, build)
+		worldFor = src.WorldFor
+	case pool.Parallel() || cfg.runWorkers > 1 || sched != nil:
+		// Clone the generated world through the snapshot machinery — a
+		// bit-identical topology without re-running netgen's placement and
+		// range search per run.
+		snap := w.Snapshot()
+		worldFor = func(int) (*network.World, error) { return snap.World() }
+	default:
 		worldFor = func(int) (*network.World, error) { return w, nil }
 	}
-	fmt.Printf("%s,finish_mean,finish_ci95,finish_min,finish_max,completed,runs,moves,meetings,topo_records\n", param)
+	fmt.Printf("%s,finish_mean,finish_ci95,finish_min,finish_max,completed,runs,moves,meetings,topo_records,stranded,faults_injected,faults_recovered\n", param)
 	em := newEmitter(len(vals), cfg.reg)
 	return pool.Run(len(vals), func(i int) error {
 		v := vals[i]
 		preg := metrics.NewRegistry()
 		sc := mapping.Scenario{
 			Agents: 15, Kind: kind, Cooperate: cooperate, Stigmergy: stigmergy,
-			MaxSteps: 200000, Workers: cfg.workers, RunWorkers: cfg.runWorkers,
+			MaxSteps: maxSteps, Faults: sched,
+			Workers: cfg.workers, RunWorkers: cfg.runWorkers,
 			ShardWorkers: cfg.shardWorkers, Metrics: preg,
 		}
 		switch param {
@@ -229,10 +262,11 @@ func sweepMapping(param string, vals []float64, policy string, cooperate, stigme
 			return err
 		}
 		d := counterValues(preg.Snapshot(nil),
-			"mapping_moves_total", "mapping_meetings_total", "mapping_topo_records_merged_total")
-		em.emit(i, fmt.Sprintf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d,%d,%d,%d\n",
+			"mapping_moves_total", "mapping_meetings_total", "mapping_topo_records_merged_total",
+			"faults_injected_total", "faults_recovered_total")
+		em.emit(i, fmt.Sprintf("%g,%.1f,%.1f,%.0f,%.0f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			v, agg.Finish.Mean, agg.Finish.CI, agg.Finish.Min, agg.Finish.Max,
-			agg.Completed, agg.Runs, d[0], d[1], d[2]), preg)
+			agg.Completed, agg.Runs, d[0], d[1], d[2], agg.Stranded, d[3], d[4]), preg)
 		return nil
 	})
 }
@@ -247,14 +281,14 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		return fmt.Errorf("unknown routing policy %q", policy)
 	}
 	const steps = 300
-	worldFor := func(int) (*network.World, error) {
+	build := func() (*network.World, error) {
 		return netgen.Generate(netgen.Routing250(), cfg.seed)
 	}
 	// One immutable schedule drives every point and run: the fault workload
 	// is held fixed while the swept parameter varies.
 	var sched *faults.Schedule
 	if cfg.faultPreset != "" {
-		probe, err := worldFor(0)
+		probe, err := build()
 		if err != nil {
 			return err
 		}
@@ -262,6 +296,16 @@ func sweepRouting(param string, vals []float64, policy string, communicate, stig
 		if err != nil {
 			return err
 		}
+	}
+	// Every point and run sees the same world evolution. With the world
+	// cache on, it is recorded once and replayed bit-identically in
+	// O(changes) per step; otherwise each run re-steps it live.
+	var worldFor func(int) (*network.World, error)
+	if cfg.worldCache && cfg.runs*len(vals) > 1 {
+		src := network.NewTrajectorySource(steps, 0, sched, build)
+		worldFor = src.WorldFor
+	} else {
+		worldFor = func(int) (*network.World, error) { return build() }
 	}
 	fmt.Printf("%s,connectivity_mean,connectivity_ci95,end_to_end,stability_std,stale_mean,"+
 		"reconv_mean,reconv_e2e_mean,floor_mean,floor_e2e_mean,recovered,censored,stranded,"+

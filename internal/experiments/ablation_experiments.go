@@ -29,10 +29,10 @@ func extH(cfg Config) (Report, error) {
 	for _, m := range models {
 		spec := netgen.Routing250()
 		spec.Mobility = m.kind
-		worldFor := func(int) (*network.World, error) {
+		build := func() (*network.World, error) {
 			return netgen.Generate(spec, cfg.Seed)
 		}
-		agg, err := routing.RunMany(worldFor, routing.Scenario{
+		agg, err := routing.RunManyCached(build, routing.Scenario{
 			Agents: 100, Kind: core.PolicyOldestNode,
 			Workers: cfg.Workers, RunWorkers: cfg.RunWorkers, ShardWorkers: cfg.ShardWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extH/"+m.name))
@@ -92,7 +92,7 @@ func extI(cfg Config) (Report, error) {
 			return Report{}, err
 		}
 		asym := asymmetryFraction(w)
-		static := staticWorldFor(cfg, mapSpec, cfg.Seed, w)
+		static := staticWorldFor(cfg, w)
 		mapAgg, err := mapping.RunMany(static, mapping.Scenario{
 			Agents: 15, Kind: core.PolicyConscientious, Cooperate: true,
 			MaxSteps: 200000, Workers: cfg.Workers, RunWorkers: cfg.RunWorkers, ShardWorkers: cfg.ShardWorkers,
@@ -103,10 +103,10 @@ func extI(cfg Config) (Report, error) {
 		// Routing: same scale as Fig 7.
 		routeSpec := netgen.Routing250()
 		routeSpec.RangeSpread = st.spread
-		worldFor := func(int) (*network.World, error) {
+		build := func() (*network.World, error) {
 			return netgen.Generate(routeSpec, cfg.Seed)
 		}
-		routeAgg, err := routing.RunMany(worldFor, routing.Scenario{
+		routeAgg, err := routing.RunManyCached(build, routing.Scenario{
 			Agents: 100, Kind: core.PolicyOldestNode,
 			Workers: cfg.Workers, RunWorkers: cfg.RunWorkers, ShardWorkers: cfg.ShardWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extI/route/"+st.name))
@@ -191,7 +191,7 @@ func extK(cfg Config) (Report, error) {
 		mapSpec.Placement = l.kind
 		mapSpec.MaxTries = 64
 		if w, err := netgen.Generate(mapSpec, cfg.Seed); err == nil {
-			static := staticWorldFor(cfg, mapSpec, cfg.Seed, w)
+			static := staticWorldFor(cfg, w)
 			mapAgg, err := mapping.RunMany(static, mapping.Scenario{
 				Agents: 15, Kind: core.PolicyConscientious, Cooperate: true,
 				MaxSteps: 200000, Workers: cfg.Workers, RunWorkers: cfg.RunWorkers, ShardWorkers: cfg.ShardWorkers,
@@ -203,10 +203,10 @@ func extK(cfg Config) (Report, error) {
 		}
 		routeSpec := netgen.Routing250()
 		routeSpec.Placement = l.kind
-		worldFor := func(int) (*network.World, error) {
+		build := func() (*network.World, error) {
 			return netgen.Generate(routeSpec, cfg.Seed)
 		}
-		routeAgg, err := routing.RunMany(worldFor, routing.Scenario{
+		routeAgg, err := routing.RunManyCached(build, routing.Scenario{
 			Agents: 100, Kind: core.PolicyOldestNode,
 			Workers: cfg.Workers, RunWorkers: cfg.RunWorkers, ShardWorkers: cfg.ShardWorkers,
 		}, cfg.Runs, seedFor(cfg.Seed, "extK/route/"+l.name))

@@ -14,21 +14,23 @@ import (
 	"repro/internal/traffic"
 )
 
-// routingWorldFor regenerates the canonical 250-node MANET with the same
-// node placement and movement trace for every run, as the paper does.
-func routingWorldFor(seed uint64) func(int) (*network.World, error) {
-	return func(int) (*network.World, error) {
+// routingBuild generates the canonical 250-node MANET with the same node
+// placement and movement trace for every run, as the paper does.
+func routingBuild(seed uint64) func() (*network.World, error) {
+	return func() (*network.World, error) {
 		return netgen.Generate(netgen.Routing250(), seed)
 	}
 }
 
-// routeSetting runs one routing parameter setting. routingWorldFor
-// regenerates a fresh world per run, so replication parallelises safely.
+// routeSetting runs one routing parameter setting through the cached
+// trajectory source: the world's mobility + link churn is recorded once
+// per setting and replayed bit-identically by every run, so replication
+// parallelises safely without paying the world-step cost R times.
 func routeSetting(cfg Config, label string, sc routing.Scenario) (routing.Aggregate, error) {
 	sc.Workers = cfg.Workers
 	sc.RunWorkers = cfg.RunWorkers
 	sc.ShardWorkers = cfg.ShardWorkers
-	return routing.RunMany(routingWorldFor(cfg.Seed), sc, cfg.Runs, seedFor(cfg.Seed, label))
+	return routing.RunManyCached(routingBuild(cfg.Seed), sc, cfg.Runs, seedFor(cfg.Seed, label))
 }
 
 var connectivityColumns = []string{"setting", "connectivity", "end-to-end", "stability (std)"}

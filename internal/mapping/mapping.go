@@ -139,6 +139,9 @@ type Result struct {
 	MinCurve []float64
 	// Overhead aggregates all agents' cost counters.
 	Overhead core.Overhead
+	// Stranded counts agents respawned off dead nodes over the run (fault
+	// injection only; zero otherwise).
+	Stranded int
 }
 
 // runMetrics bundles the mapping harness's instrument handles. The zero
@@ -301,7 +304,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		if sc.Faults != nil {
 			if ep := w.FaultEpoch(); ep != lastEpoch {
 				lastEpoch = ep
-				respawnStranded(w, agents, faultRng, sc.Tracer, step)
+				res.Stranded += respawnStranded(w, agents, faultRng, sc.Tracer, step)
 			}
 		}
 		// Phase 1: first-hand learning + visit recording (independent).
@@ -465,6 +468,8 @@ type Aggregate struct {
 	AvgMinCurve []float64
 	// Overhead sums all runs' agent overhead.
 	Overhead core.Overhead
+	// Stranded sums all runs' stranded-agent respawns (fault injection).
+	Stranded int
 }
 
 // RunMany executes runs independent runs, drawing run i's placement from
@@ -525,11 +530,33 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 		curves = append(curves, res.Curve)
 		minCurves = append(minCurves, res.MinCurve)
 		agg.Overhead.Add(res.Overhead)
+		agg.Stranded += res.Stranded
 	}
 	agg.Finish = stats.Summarize(stats.Ints(agg.FinishTimes))
 	agg.AvgCurve = stats.AverageSeries(curves)
 	agg.AvgMinCurve = stats.AverageSeries(minCurves)
 	return agg, nil
+}
+
+// RunManyCached is RunMany over a record-once, replay-many world source.
+// The first run to need a world records a Trajectory from one freshly
+// built live world — sync.Once inside the source, so exactly one
+// recording happens at any RunWorkers — and every run (including the
+// first) replays it through World.StepFromTrajectory. Replay is
+// bit-identical to live stepping, so the aggregate matches
+// RunMany(fresh-world-per-run, ...) exactly; it just skips the mobility
+// RNG, disc scans, and grid maintenance on every run after the recording.
+// Each run gets its own replay cursor over the shared immutable
+// trajectory, so the source is safe for parallel replication. With a
+// single run there is nothing to amortize and recording would double the
+// world work, so it falls back to plain RunMany.
+func RunManyCached(build func() (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
+	if runs <= 1 {
+		return RunMany(func(int) (*network.World, error) { return build() }, sc, runs, baseSeed)
+	}
+	d := sc.withDefaults()
+	src := network.NewTrajectorySource(d.MaxSteps, d.AnchorEvery, d.Faults, build)
+	return RunMany(src.WorldFor, sc, runs, baseSeed)
 }
 
 // worldGuard detects worldFor implementations that hand the same *World
@@ -610,10 +637,11 @@ func (r Result) MeetingRate() float64 {
 
 // respawnStranded teleports every agent standing on a dead node to a
 // uniformly random alive node, drawn from the run's dedicated fault
-// stream over the ascending alive-node list. Knowledge is kept — the map
-// is software state. With nothing alive to land on, agents stay put (a
-// dead node has no out-edges, so they idle until the world recovers).
-func respawnStranded(w *network.World, agents []*core.Agent, frng *rng.Stream, tr trace.Tracer, step int) {
+// stream over the ascending alive-node list, and returns how many agents
+// it moved. Knowledge is kept — the map is software state. With nothing
+// alive to land on, agents stay put (a dead node has no out-edges, so
+// they idle until the world recovers).
+func respawnStranded(w *network.World, agents []*core.Agent, frng *rng.Stream, tr trace.Tracer, step int) int {
 	var aliveNodes []NodeID
 	moved := 0
 	for _, a := range agents {
@@ -628,7 +656,7 @@ func respawnStranded(w *network.World, agents []*core.Agent, frng *rng.Stream, t
 			}
 		}
 		if len(aliveNodes) == 0 {
-			return
+			return moved
 		}
 		a.At = aliveNodes[frng.Intn(len(aliveNodes))]
 		moved++
@@ -639,4 +667,5 @@ func respawnStranded(w *network.World, agents []*core.Agent, frng *rng.Stream, t
 			Value: float64(moved), Extra: "stranded-respawn",
 		})
 	}
+	return moved
 }

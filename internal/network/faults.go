@@ -46,6 +46,12 @@ type faultState struct {
 	partX      float64 // absolute x of the active vertical cut
 	epoch      int
 	lastEvents []faults.Event
+
+	// Cumulative event-effect counts, mirroring the faults_injected_total /
+	// faults_recovered_total instruments but always on: the trajectory
+	// recorder reads them so replay maintains identical counters even when
+	// the recording world had no registry attached.
+	injectedTotal, recoveredTotal uint64
 }
 
 // SetFaults attaches a fault schedule to the world. A nil or empty
@@ -196,6 +202,8 @@ func (w *World) applyFaults(evs []faults.Event) {
 	w.refreshActiveGateways()
 	f.epoch++
 	f.lastEvents = evs
+	f.injectedTotal += injected
+	f.recoveredTotal += recovered
 	w.m.faultsInjected.Add(injected)
 	w.m.faultsRecovered.Add(recovered)
 	w.m.faultsNodesDown.Set(float64(n - f.aliveCount))

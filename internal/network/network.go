@@ -69,6 +69,11 @@ type World struct {
 	// driving them.
 	flt *faultState
 
+	// traj, when non-nil, makes this a replay world (see trajectory.go):
+	// every Step applies the next recorded delta instead of running
+	// mobility, decay, faults, or topology maintenance.
+	traj *trajDecoder
+
 	m        worldMetrics
 	diffMark []int32 // per-node stamp scratch for the instrumented edge diff
 	diffGen  int32
@@ -230,6 +235,12 @@ func (w *World) Neighbors(u NodeID) []NodeID { return w.topo.Out(u) }
 // bit-identical topologies — canonical sorted out-lists — pinned by the
 // equivalence and fuzz tests in this package.
 func (w *World) Step() {
+	if w.traj != nil {
+		// Replay worlds (Trajectory.World) step from the recorded delta
+		// stream — no mobility RNG, no disc scans, no grid maintenance.
+		w.StepFromTrajectory()
+		return
+	}
 	w.step++
 	w.m.steps.Inc()
 	if f := w.flt; f != nil {

@@ -1,0 +1,96 @@
+package replay_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/replay"
+)
+
+// TestReconstructAtAnchorBoundaries pins the off-by-one behaviour of
+// anchor-based reconstruction: for anchor cadence K, steps K-1 (last
+// delta before the anchor), K (the anchor itself), and K+1 (first delta
+// after it) must all reconstruct bit-identically to a fresh lockstep
+// simulation — at K=1 (anchor before every step), at the run endpoints,
+// and across fault transitions that land next to anchors.
+func TestReconstructAtAnchorBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		preset string
+		every  int
+	}{
+		{"", 1},
+		{"churn", 25},
+		{"partition", 30},
+	} {
+		name := fmt.Sprintf("preset=%s/every=%d", tc.preset, tc.every)
+		if tc.preset == "" {
+			name = fmt.Sprintf("clean/every=%d", tc.every)
+		}
+		t.Run(name, func(t *testing.T) {
+			const steps = 60
+			meta := replay.RunMeta{
+				Scenario:    "routing",
+				Spec:        testSpec(),
+				WorldSeed:   5,
+				Seed:        9,
+				Steps:       steps,
+				FaultPreset: tc.preset,
+				AnchorEvery: tc.every,
+			}
+			data, _ := recordRun(t, meta)
+			lr, gotMeta := openLog(t, data)
+
+			probes := map[int]bool{0: true, 1: true, steps - 1: true, steps: true}
+			for b := tc.every; b <= steps; b += tc.every {
+				for _, s := range []int{b - 1, b, b + 1} {
+					if s >= 0 && s <= steps {
+						probes[s] = true
+					}
+				}
+			}
+			for s := range probes {
+				if err := replay.VerifyAt(lr, gotMeta, s); err != nil {
+					t.Errorf("VerifyAt(%d): %v", s, err)
+				}
+			}
+
+			// The world is dynamic every step, so reconstruction across an
+			// anchor boundary must not stick to the anchor state: K and K+1
+			// have to differ.
+			atAnchor, err := replay.ReconstructAt(lr, tc.every)
+			if err != nil {
+				t.Fatalf("ReconstructAt(%d): %v", tc.every, err)
+			}
+			after, err := replay.ReconstructAt(lr, tc.every+1)
+			if err != nil {
+				t.Fatalf("ReconstructAt(%d): %v", tc.every+1, err)
+			}
+			a, _ := json.Marshal(atAnchor)
+			b, _ := json.Marshal(after)
+			if string(a) == string(b) {
+				t.Errorf("reconstruction at step %d equals step %d: the post-anchor delta was dropped",
+					tc.every, tc.every+1)
+			}
+		})
+	}
+}
+
+// TestReconstructAtBeforeFirstAnchor pins the error path: a step before
+// any anchor (negative) must fail loudly instead of returning a zero
+// snapshot.
+func TestReconstructAtBeforeFirstAnchor(t *testing.T) {
+	meta := replay.RunMeta{
+		Scenario:    "routing",
+		Spec:        testSpec(),
+		WorldSeed:   5,
+		Seed:        9,
+		Steps:       20,
+		AnchorEvery: 10,
+	}
+	data, _ := recordRun(t, meta)
+	lr, _ := openLog(t, data)
+	if _, err := replay.ReconstructAt(lr, -1); err == nil {
+		t.Fatal("ReconstructAt(-1) returned a snapshot from a log whose first anchor is step 0")
+	}
+}

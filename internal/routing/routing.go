@@ -1042,6 +1042,27 @@ func RunMany(worldFor func(run int) (*network.World, error), sc Scenario, runs i
 	return agg, nil
 }
 
+// RunManyCached is RunMany over a record-once, replay-many world source.
+// The first run to need a world records a Trajectory from one freshly
+// built live world — sync.Once inside the source, so exactly one
+// recording happens at any RunWorkers — and every run (including the
+// first) replays it through World.StepFromTrajectory. Replay is
+// bit-identical to live stepping, so the aggregate matches
+// RunMany(fresh-world-per-run, ...) exactly; it just skips the mobility
+// RNG, disc scans, and grid maintenance on every run after the recording.
+// Each run gets its own replay cursor over the shared immutable
+// trajectory, so the source is safe for parallel replication. With a
+// single run there is nothing to amortize and recording would double the
+// world work, so it falls back to plain RunMany.
+func RunManyCached(build func() (*network.World, error), sc Scenario, runs int, baseSeed uint64) (Aggregate, error) {
+	if runs <= 1 {
+		return RunMany(func(int) (*network.World, error) { return build() }, sc, runs, baseSeed)
+	}
+	d := sc.withDefaults()
+	src := network.NewTrajectorySource(d.Steps, d.AnchorEvery, d.Faults, build)
+	return RunMany(src.WorldFor, sc, runs, baseSeed)
+}
+
 // worldGuard detects worldFor implementations that hand the same *World
 // to two concurrent runs.
 type worldGuard struct {

@@ -13,7 +13,11 @@
 # plus results/BENCH_shard.json (root copy BENCH_shard.json) with
 # sharded-over-incremental speedups and the host CPU count, since shard
 # scaling is budget-limited: on a single-core host every shard phase
-# degrades to sequential and the honest speedup is ~1x.
+# degrades to sequential and the honest speedup is ~1x. The trajectory
+# tier (results/BENCH_trajectory.json, root copy BENCH_trajectory.json)
+# compares live incremental stepping against recorded-trajectory replay
+# at n=500/8000/100000 plus an end-to-end cached-vs-live sweep timing,
+# with a >=2x replay floor at n=8000.
 # Usage: scripts/bench.sh [benchtime]   (default 5x; `scripts/bench.sh 1x`
 # is the CI smoke run, which skips the sweep timing). The world-step
 # benchmarks default to 600 fixed iterations for stable per-step numbers;
@@ -239,6 +243,88 @@ ratio_ok=$(awk -v jb="$jsonl_bytes" -v bb="$binary_bytes" 'BEGIN { print (jb >= 
 if [ "$ratio_ok" != 1 ]; then
   echo "FAIL: binary log is only $(awk -v jb="$jsonl_bytes" -v bb="$binary_bytes" 'BEGIN{printf "%.2f", jb/bb}')x smaller than JSONL (floor: 5x)" >&2
   exit 1
+fi
+
+# --- trajectory replay: record-once, replay-many stepping engine ---
+# mode=replay steps a world by applying a pre-recorded delta — no mobility
+# RNG, no disc scans, no spatial grid. This is the engine cmd/sweep and the
+# RunManyCached harnesses amortise across replications: record the world's
+# evolution once, replay it for every point and run. Results are
+# bit-identical to live stepping (pinned by the equivalence tests in
+# internal/network, internal/mapping, internal/routing, and ci.sh's
+# cached-sweep byte-identity gate). Acceptance floor: replay >=2x faster
+# than the live incremental engine at n=8000 (skipped on the 1x smoke).
+traj_benchtime="${WORLD_BENCHTIME:-600x}"
+if [ "$benchtime" = "1x" ]; then
+  traj_benchtime="1x"
+fi
+yraw="$out/bench_trajectory.txt"
+yjson="$out/BENCH_trajectory.json"
+
+{
+  echo "# Trajectory replay — live incremental stepping vs recorded-delta replay"
+  echo "# host: $(nproc) CPU(s), $(go version | cut -d' ' -f3-)"
+  echo "# benchtime: $traj_benchtime"
+  go test -run '^$' -benchtime "$traj_benchtime" -benchmem \
+    -bench 'BenchmarkWorldStep/n=(500|8000|100000)/mode=(incremental|replay)$' .
+} | tee "$yraw"
+
+# End-to-end amortisation: the same routing sweep with the trajectory cache
+# off and on. The CSV is byte-identical either way (ci.sh diffs it); only
+# the wall clock moves.
+sweep_live_ms=0
+sweep_cached_ms=0
+if [ "$benchtime" != "1x" ]; then
+  for wc in 0 1; do
+    start=$(date +%s%N)
+    go run ./cmd/sweep -scenario routing -param agents -values 25,50 \
+      -runs 4 -worldcache="$wc" >/dev/null
+    end=$(date +%s%N)
+    ms=$(( (end - start) / 1000000 ))
+    echo "sweep worldcache=$wc: ${ms} ms" | tee -a "$yraw"
+    if [ "$wc" = 0 ]; then sweep_live_ms=$ms; else sweep_cached_ms=$ms; fi
+  done
+fi
+
+awk -v lms="$sweep_live_ms" -v cms="$sweep_cached_ms" '
+/^BenchmarkWorldStep/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (!(name in ns)) order[n++] = name
+  ns[name] = $3
+  allocs[name] = $7
+}
+END {
+  printf "[\n"
+  for (i = 0; i < n; i++) {
+    nm = order[i]
+    base = nm
+    sub(/mode=replay$/, "mode=incremental", base)
+    sp = (nm ~ /mode=replay$/ && ns[nm] + 0 > 0) ? ns[base] / ns[nm] : 1.0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"speedup_vs_live\": %.3f},\n", \
+      nm, ns[nm], allocs[nm], sp
+  }
+  sp = (lms + 0 > 0 && cms + 0 > 0) ? lms / cms : 1.0
+  printf "  {\"name\": \"sweep_routing_agents_runs4\", \"live_ms\": %d, \"cached_ms\": %d, \"speedup_vs_live\": %.3f}\n", \
+    lms, cms, sp
+  printf "]\n"
+}' "$yraw" > "$yjson"
+if [ "$out" = "results" ]; then
+  cp "$yjson" BENCH_trajectory.json
+  echo "wrote $yjson (copied to ./BENCH_trajectory.json)"
+else
+  echo "wrote $yjson"
+fi
+
+if [ "$traj_benchtime" != "1x" ]; then
+  floor_ok=$(awk '
+    /^BenchmarkWorldStep\/n=8000\/mode=incremental/ { inc = $3 }
+    /^BenchmarkWorldStep\/n=8000\/mode=replay/ { rep = $3 }
+    END { print (rep + 0 > 0 && inc >= 2 * rep) ? 1 : 0 }' "$yraw")
+  if [ "$floor_ok" != 1 ]; then
+    echo "FAIL: trajectory replay is under the 2x floor vs live incremental stepping at n=8000" >&2
+    exit 1
+  fi
 fi
 
 if [ "$benchtime" != "1x" ]; then

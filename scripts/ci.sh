@@ -73,12 +73,15 @@ replaydir=$(mktemp -d)
 go build -o "$replaydir" ./cmd/routing ./cmd/replay
 "$replaydir/routing" -nodes 60 -edges 400 -gateways 4 -agents 20 -steps 80 \
   -runs 1 -anchorevery 25 -binlog "$replaydir/run.alog" >/dev/null
-"$replaydir/replay" -log "$replaydir/run.alog" -verify | grep -q '^verify ok'
-"$replaydir/replay" -log "$replaydir/run.alog" -step 40 -verify | grep -q '^verify step=40 ok'
+# grep without -q so it drains the pipe to EOF: -q exits at the first
+# match, and replay prints a summary line after it, so the writer can
+# take a SIGPIPE (exit 141 under pipefail) depending on scheduling.
+"$replaydir/replay" -log "$replaydir/run.alog" -verify | grep '^verify ok' >/dev/null
+"$replaydir/replay" -log "$replaydir/run.alog" -step 40 -verify | grep '^verify step=40 ok' >/dev/null
 "$replaydir/routing" -nodes 60 -edges 400 -gateways 4 -agents 20 -steps 120 \
   -runs 1 -anchorevery 30 -faults churn -binlog "$replaydir/churn.alog" >/dev/null
-"$replaydir/replay" -log "$replaydir/churn.alog" -verify | grep -q '^verify ok'
-"$replaydir/replay" -log "$replaydir/churn.alog" -step 77 -verify | grep -q '^verify step=77 ok'
+"$replaydir/replay" -log "$replaydir/churn.alog" -verify | grep '^verify ok' >/dev/null
+"$replaydir/replay" -log "$replaydir/churn.alog" -step 77 -verify | grep '^verify step=77 ok' >/dev/null
 rm -rf "$replaydir"
 
 echo "== corrupt-log gate (framing fuzz seeds + corruption table, -race)"
@@ -92,6 +95,34 @@ go test -race -count=1 -run 'TestBinlogCorruption|FuzzLogReader|FuzzRead|LogWrit
 echo "== replay determinism tests (pinned run + faulted round-trips)"
 go test -count=1 -run 'TestReplayMatchesPinnedRun' .
 go test -count=1 -run 'TestLogRoundTrip' ./internal/replay
+
+echo "== trajectory replay gate (cached-stepping equivalence + decode fuzz seeds, -race)"
+# The record-once/replay-many engine must stay bit-identical to live
+# stepping at every worker setting, and its binary decoder must reject
+# corrupt trajectories cleanly (FuzzTrajectoryDecode runs its seed corpus
+# as an ordinary test here; go test -fuzz FuzzTrajectoryDecode goes deeper).
+go test -race -count=1 -run 'Trajectory|StepRecorder|RunManyCached|ReconstructAt' \
+  ./internal/network ./internal/mapping ./internal/routing ./internal/replay
+
+echo "== cached-sweep byte-identity gate (worldcache on/off, pointworkers 1 and 4)"
+# The whole point of the trajectory cache is that nobody can tell it is on:
+# for both scenarios, clean and faulted, the cached sweep's CSV must be
+# byte-identical to the live-stepping sweep's at any point parallelism.
+sweepdir=$(mktemp -d)
+go build -o "$sweepdir" ./cmd/sweep
+for sc in routing mapping; do
+  for preset in "" churn; do
+    "$sweepdir/sweep" -scenario "$sc" -param agents -values 5,10 -runs 2 \
+      ${preset:+-faults "$preset"} -worldcache=0 > "$sweepdir/live.csv"
+    for pw in 1 4; do
+      "$sweepdir/sweep" -scenario "$sc" -param agents -values 5,10 -runs 2 \
+        ${preset:+-faults "$preset"} -worldcache=1 -pointworkers "$pw" > "$sweepdir/cached.csv"
+      diff "$sweepdir/live.csv" "$sweepdir/cached.csv" \
+        || { echo "FAIL: cached sweep ($sc faults='$preset' pointworkers=$pw) differs from live" >&2; exit 1; }
+    done
+  done
+done
+rm -rf "$sweepdir"
 
 echo "== benchmark smoke (1 iteration each)"
 go test -run '^$' -bench . -benchtime=1x -benchmem .
@@ -107,6 +138,8 @@ test -s "$benchout/BENCH_shard.json"
 grep -q '"speedup_vs_incremental"' "$benchout/BENCH_shard.json"
 test -s "$benchout/BENCH_trace.json"
 grep -q '"jsonl_over_binary"' "$benchout/BENCH_trace.json"
+test -s "$benchout/BENCH_trajectory.json"
+grep -q '"speedup_vs_live"' "$benchout/BENCH_trajectory.json"
 rm -rf "$benchout"
 
 echo "== metrics exposition smoke"
