@@ -1,0 +1,390 @@
+package graph
+
+// This file implements DynReach, a dynamic reverse-reachability engine: it
+// maintains, under edge insertions and deletions, the set of nodes that can
+// reach a fixed target set over a directed graph the host owns. The classic
+// use is connectivity measurement — "which nodes still have a live chain to
+// a gateway" — recomputed every simulation step. A scratch BFS pays
+// O(N + E) per step no matter how little changed; DynReach pays
+// O(affected) per step, where affected is the subgraph whose reachability
+// status the step's edge events could actually have flipped.
+//
+// The structure is a witness forest. Every reached non-target node u
+// stores a witness: one live out-edge u→witness[u] into another reached
+// node, justifying u's membership. Witness edges form a forest rooted at
+// the targets (each node one parent, no cycles: a witness chain strictly
+// follows edges into nodes whose own chains terminate at a target), and
+// each node keeps an intrusive doubly-linked list of its witness children
+// so the whole dependent subtree of a dying witness edge is enumerable in
+// O(subtree).
+//
+// Event processing per flush:
+//
+//  1. Invalidate(u) queues u for a witness check: if u is reached, not a
+//     target, and its witness edge is no longer live, u first tries to
+//     re-witness — adopt another live out-edge into a reached node whose
+//     own witness chain provably terminates at a target without passing
+//     through u (an O(chain depth) walk; accepting a descendant would
+//     close a stale cycle). Only when no safe witness exists does u's
+//     entire witness subtree collapse to unreached, every member becoming
+//     a re-attachment candidate. A subtree member may well still be
+//     reachable through a different edge — collapse is tentative, not a
+//     verdict. Re-witnessing onto a chain that a later event of the same
+//     flush kills is safe: the child-list relink makes u part of that
+//     chain's subtree, so the eventual collapse absorbs it.
+//  2. Candidate(u) queues u for (re-)attachment: a node that gained an
+//     out-edge, or lost reached status in a collapse.
+//  3. Flush first runs all witness checks (collapses), then scans every
+//     candidate's live out-edges for a reached witness, then runs a BFS
+//     over live in-edges from the freshly re-attached nodes — exactly the
+//     frontier expansion of the scratch BFS, restricted to nodes whose
+//     status actually changed.
+//
+// Correctness does not depend on event precision: a spurious Invalidate
+// finds the witness edge still live and no-ops; a spurious Candidate finds
+// the node already reached and no-ops. Hosts may therefore over-report
+// events (e.g. emit at decision points without success checks). MISSING an
+// event is fatal — hosts that cannot account for a step's changes must
+// call Recompute instead (the harnesses' resync fallback).
+//
+// The reached SET is the unique least fixpoint of "is a target, or has a
+// live edge to a reached node", so it is independent of event order and of
+// which witness each node happens to pick — DynReach is bit-identical to a
+// scratch BFS from the same targets, which the randomized property tests
+// pin. No stale cycle can survive a collapse: every collapsed node is
+// unreached until it finds a witness OUTSIDE the collapsed set, so a ring
+// of nodes witnessing each other can never readmit itself.
+//
+// The engine holds no edges of its own. The host supplies live-edge views
+// through a ReachOracle whose function fields are bound once per engine
+// (binding per call would allocate closures in the hot path); all internal
+// buffers ratchet to their high-water capacity, so steady-state flushes
+// allocate nothing.
+
+// ReachOracle is the host-graph view DynReach operates through. LiveOut
+// and LiveIn append to dst and return it (dst is engine-owned scratch —
+// hosts that already hold a materialized neighbour slice may ignore dst
+// and return theirs). Countable flags the nodes the Count aggregate
+// tracks; targets are counted like any other node when Countable reports
+// them.
+type ReachOracle struct {
+	// LiveOut returns u's current live out-neighbours.
+	LiveOut func(u NodeID, dst []NodeID) []NodeID
+	// LiveIn returns v's current live in-neighbours.
+	LiveIn func(v NodeID, dst []NodeID) []NodeID
+	// HasLive reports whether the edge u→v is currently live.
+	HasLive func(u, v NodeID) bool
+	// Countable reports whether u participates in Count. Evaluated once
+	// per node at Recompute; hosts whose countable set changes must
+	// Recompute (the fault-epoch resync rule).
+	Countable func(u NodeID) bool
+}
+
+// DynReach maintains reverse reachability toward a target set under edge
+// churn. The zero value is ready; call Reset, then Recompute, then
+// Invalidate/Candidate + Flush per step.
+type DynReach struct {
+	o ReachOracle
+	n int
+
+	reached   []bool
+	isTarget  []bool
+	countable []bool
+	count     int // reached ∧ countable
+	total     int // countable
+
+	// witness[u] is the out-neighbour justifying u's reached status
+	// (valid for reached non-targets); childHead/childNext/childPrev
+	// form each node's intrusive doubly-linked witness-children list.
+	witness   []NodeID
+	childHead []NodeID
+	childNext []NodeID
+	childPrev []NodeID
+
+	inval []NodeID // queued witness checks
+	cand  []NodeID // queued re-attachment candidates
+	mark  []int32  // candidate dedupe stamps
+	gen   int32
+
+	queue []NodeID // flush BFS frontier
+	stack []NodeID // collapse DFS stack
+	nbr   []NodeID // LiveOut scratch
+	nbrIn []NodeID // LiveIn scratch
+}
+
+// Reset sizes the engine for n nodes and binds the oracle. It does not
+// compute anything; follow with Recompute.
+func (r *DynReach) Reset(n int, o ReachOracle) {
+	r.o = o
+	r.n = n
+	if cap(r.reached) < n {
+		r.reached = make([]bool, n)
+		r.isTarget = make([]bool, n)
+		r.countable = make([]bool, n)
+		r.witness = make([]NodeID, n)
+		r.childHead = make([]NodeID, n)
+		r.childNext = make([]NodeID, n)
+		r.childPrev = make([]NodeID, n)
+		r.mark = make([]int32, n)
+		r.gen = 0
+	}
+	r.reached = r.reached[:n]
+	r.isTarget = r.isTarget[:n]
+	r.countable = r.countable[:n]
+	r.witness = r.witness[:n]
+	r.childHead = r.childHead[:n]
+	r.childNext = r.childNext[:n]
+	r.childPrev = r.childPrev[:n]
+	r.mark = r.mark[:n]
+	r.inval = r.inval[:0]
+	r.cand = r.cand[:0]
+	r.gen++
+}
+
+// Recompute rebuilds the reach set from scratch: a reverse BFS from
+// targets over live in-edges, recording witnesses as it expands. This is
+// the resync fallback for steps whose changes the host cannot enumerate
+// (full topology rebuilds, fault epochs) and the required follow-up to
+// Reset or to a change in the target or countable sets.
+func (r *DynReach) Recompute(targets []NodeID) {
+	r.count, r.total = 0, 0
+	for i := 0; i < r.n; i++ {
+		u := NodeID(i)
+		r.reached[i] = false
+		r.isTarget[i] = false
+		r.witness[i] = -1
+		r.childHead[i] = -1
+		r.childNext[i] = -1
+		r.childPrev[i] = -1
+		c := r.o.Countable(u)
+		r.countable[i] = c
+		if c {
+			r.total++
+		}
+	}
+	r.inval = r.inval[:0]
+	r.cand = r.cand[:0]
+	queue := r.queue[:0]
+	for _, t := range targets {
+		if r.reached[t] {
+			continue
+		}
+		r.reached[t] = true
+		r.isTarget[t] = true
+		if r.countable[t] {
+			r.count++
+		}
+		queue = append(queue, t)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		r.nbrIn = r.o.LiveIn(v, r.nbrIn[:0])
+		for _, u := range r.nbrIn {
+			if !r.reached[u] {
+				r.attach(u, v)
+				queue = append(queue, u)
+			}
+		}
+	}
+	r.queue = queue
+}
+
+// Invalidate queues u for a witness check at the next Flush: call it when
+// an out-edge of u may have died. Spurious calls are harmless.
+func (r *DynReach) Invalidate(u NodeID) {
+	r.inval = append(r.inval, u)
+}
+
+// Candidate queues u for re-attachment at the next Flush: call it when an
+// out-edge of u may have appeared. Spurious calls are harmless.
+func (r *DynReach) Candidate(u NodeID) {
+	r.pushCand(u)
+}
+
+// Flush settles all queued events, restoring the least-fixpoint reach set.
+func (r *DynReach) Flush() {
+	// Phase 1 — witness checks: collapse every subtree whose root's
+	// witness edge died. Collapsed members join the candidate queue.
+	for _, u := range r.inval {
+		if !r.reached[u] {
+			// Not reached, so nothing to invalidate — but the event means
+			// u's edges changed, so give it a re-attachment chance.
+			r.pushCand(u)
+			continue
+		}
+		if r.isTarget[u] {
+			continue
+		}
+		if w := r.witness[u]; w >= 0 && r.o.HasLive(u, w) {
+			continue
+		}
+		if r.rewitness(u) {
+			continue
+		}
+		r.collapse(u)
+	}
+	r.inval = r.inval[:0]
+	// Phase 2 — re-attachment: each candidate scans its live out-edges for
+	// a reached witness.
+	queue := r.queue[:0]
+	for _, u := range r.cand {
+		if r.reached[u] {
+			continue
+		}
+		r.nbr = r.o.LiveOut(u, r.nbr[:0])
+		for _, v := range r.nbr {
+			if r.reached[v] {
+				r.attach(u, v)
+				queue = append(queue, u)
+				break
+			}
+		}
+	}
+	r.cand = r.cand[:0]
+	r.bumpGen()
+	// Phase 3 — frontier expansion: the scratch BFS, restricted to the
+	// newly reached.
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		r.nbrIn = r.o.LiveIn(v, r.nbrIn[:0])
+		for _, u := range r.nbrIn {
+			if !r.reached[u] {
+				r.attach(u, v)
+				queue = append(queue, u)
+			}
+		}
+	}
+	r.queue = queue
+}
+
+// Reached reports whether u currently reaches a target.
+func (r *DynReach) Reached(u NodeID) bool { return r.reached[u] }
+
+// Count returns the number of reached countable nodes.
+func (r *DynReach) Count() int { return r.count }
+
+// CountableTotal returns the number of countable nodes (as of the last
+// Recompute).
+func (r *DynReach) CountableTotal() int { return r.total }
+
+// attach marks u reached with witness v, linking u into v's child list.
+func (r *DynReach) attach(u, v NodeID) {
+	r.reached[u] = true
+	if r.countable[u] {
+		r.count++
+	}
+	r.witness[u] = v
+	r.childPrev[u] = -1
+	head := r.childHead[v]
+	r.childNext[u] = head
+	if head >= 0 {
+		r.childPrev[head] = u
+	}
+	r.childHead[v] = u
+}
+
+// rewitness tries to keep a reached node whose witness edge died reached,
+// by adopting another live out-edge into a reached node whose witness
+// chain terminates at a target without passing through u. Succeeding costs
+// O(out-degree × chain depth) and spares the O(subtree) collapse+rebuild;
+// failing costs the same scan and falls through to collapse.
+func (r *DynReach) rewitness(u NodeID) bool {
+	r.nbr = r.o.LiveOut(u, r.nbr[:0])
+	for _, v := range r.nbr {
+		if !r.reached[v] || !r.chainSafe(v, u) {
+			continue
+		}
+		r.unlink(u)
+		r.witness[u] = v
+		r.childPrev[u] = -1
+		head := r.childHead[v]
+		r.childNext[u] = head
+		if head >= 0 {
+			r.childPrev[head] = u
+		}
+		r.childHead[v] = u
+		return true
+	}
+	return false
+}
+
+// chainSafe reports whether v's current witness chain terminates at a
+// target without passing through u. Reached nodes' chains are always
+// target-terminated and acyclic (the forest invariant), so the walk is
+// bounded by the forest depth; the n-step guard is pure defence.
+func (r *DynReach) chainSafe(v, u NodeID) bool {
+	for steps := 0; steps < r.n; steps++ {
+		if v == u {
+			return false
+		}
+		if r.isTarget[v] {
+			return true
+		}
+		if !r.reached[v] {
+			return false
+		}
+		v = r.witness[v]
+		if v < 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// unlink removes u from its witness parent's child list.
+func (r *DynReach) unlink(u NodeID) {
+	p := r.witness[u]
+	if prev := r.childPrev[u]; prev >= 0 {
+		r.childNext[prev] = r.childNext[u]
+	} else {
+		r.childHead[p] = r.childNext[u]
+	}
+	if next := r.childNext[u]; next >= 0 {
+		r.childPrev[next] = r.childPrev[u]
+	}
+}
+
+// collapse unlinks u from its witness parent and marks u's whole witness
+// subtree unreached, queueing every member as a re-attachment candidate.
+// Only the root needs a real unlink: descendants' sibling pointers die
+// wholesale with their parent's cleared child list and are rewritten on
+// re-attach.
+func (r *DynReach) collapse(u NodeID) {
+	r.unlink(u)
+	stack := append(r.stack[:0], u)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r.reached[x] = false
+		if r.countable[x] {
+			r.count--
+		}
+		r.pushCand(x)
+		for c := r.childHead[x]; c >= 0; c = r.childNext[c] {
+			stack = append(stack, c)
+		}
+		r.childHead[x] = -1
+	}
+	r.stack = stack
+}
+
+// pushCand queues u as a re-attachment candidate, deduplicated per flush
+// generation.
+func (r *DynReach) pushCand(u NodeID) {
+	if r.mark[u] == r.gen {
+		return
+	}
+	r.mark[u] = r.gen
+	r.cand = append(r.cand, u)
+}
+
+// bumpGen opens a fresh dedupe generation, clearing stamps on wraparound.
+func (r *DynReach) bumpGen() {
+	r.gen++
+	if r.gen > 1<<30 {
+		for i := range r.mark {
+			r.mark[i] = 0
+		}
+		r.gen = 1
+	}
+}

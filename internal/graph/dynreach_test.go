@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// matrixHost drives a DynReach over a mutable adjacency-matrix digraph —
+// the simplest possible oracle host, so the tests pin the engine's
+// semantics without any production plumbing in the loop.
+type matrixHost struct {
+	n       int
+	adj     [][]bool
+	cnt     []bool
+	targets []NodeID
+	dr      DynReach
+}
+
+func newMatrixHost(n int, targets []NodeID) *matrixHost {
+	h := &matrixHost{n: n, targets: targets}
+	h.adj = make([][]bool, n)
+	for i := range h.adj {
+		h.adj[i] = make([]bool, n)
+	}
+	h.cnt = make([]bool, n)
+	for i := range h.cnt {
+		h.cnt[i] = true
+	}
+	for _, tg := range targets {
+		h.cnt[tg] = false
+	}
+	h.dr.Reset(n, ReachOracle{
+		LiveOut: func(u NodeID, dst []NodeID) []NodeID {
+			for v := 0; v < h.n; v++ {
+				if h.adj[u][v] {
+					dst = append(dst, NodeID(v))
+				}
+			}
+			return dst
+		},
+		LiveIn: func(v NodeID, dst []NodeID) []NodeID {
+			for u := 0; u < h.n; u++ {
+				if h.adj[u][v] {
+					dst = append(dst, NodeID(u))
+				}
+			}
+			return dst
+		},
+		HasLive:   func(u, v NodeID) bool { return h.adj[u][v] },
+		Countable: func(u NodeID) bool { return h.cnt[u] },
+	})
+	h.dr.Recompute(targets)
+	return h
+}
+
+func (h *matrixHost) add(u, v NodeID) {
+	h.adj[u][v] = true
+	h.dr.Candidate(u)
+}
+
+func (h *matrixHost) remove(u, v NodeID) {
+	h.adj[u][v] = false
+	h.dr.Invalidate(u)
+}
+
+// brute recomputes the reached set from scratch: u is reached iff a
+// directed path u → … → target exists, found by one reverse BFS.
+func (h *matrixHost) brute() []bool {
+	reached := make([]bool, h.n)
+	var queue []NodeID
+	for _, tg := range h.targets {
+		if !reached[tg] {
+			reached[tg] = true
+			queue = append(queue, tg)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := 0; u < h.n; u++ {
+			if h.adj[u][v] && !reached[u] {
+				reached[u] = true
+				queue = append(queue, NodeID(u))
+			}
+		}
+	}
+	return reached
+}
+
+func (h *matrixHost) check(t *testing.T, ctx string) {
+	t.Helper()
+	h.dr.Flush()
+	want := h.brute()
+	count, total := 0, 0
+	for u := 0; u < h.n; u++ {
+		if got := h.dr.Reached(NodeID(u)); got != want[u] {
+			t.Fatalf("%s: Reached(%d) = %v, brute force says %v", ctx, u, got, want[u])
+		}
+		if h.cnt[u] {
+			total++
+			if want[u] {
+				count++
+			}
+		}
+	}
+	if got := h.dr.Count(); got != count {
+		t.Fatalf("%s: Count() = %d, want %d", ctx, got, count)
+	}
+	if got := h.dr.CountableTotal(); got != total {
+		t.Fatalf("%s: CountableTotal() = %d, want %d", ctx, got, total)
+	}
+}
+
+// TestDynReachChain pins the basic witness mechanics on a hand-built
+// chain: breaking any link severs exactly the upstream suffix, re-adding
+// restores it.
+func TestDynReachChain(t *testing.T) {
+	h := newMatrixHost(6, []NodeID{0})
+	for u := NodeID(1); u < 6; u++ {
+		h.add(u, u-1)
+	}
+	h.check(t, "chain built")
+	h.remove(3, 2)
+	h.check(t, "chain cut at 3→2")
+	h.add(3, 2)
+	h.check(t, "chain repaired")
+	// A shortcut keeps the tail reached when the cut link dies again.
+	h.add(5, 1)
+	h.remove(3, 2)
+	h.check(t, "cut with shortcut 5→1")
+}
+
+// TestDynReachCycleCollapse is the no-stale-cycle gate: two nodes whose
+// only route to the target runs through each other plus one exit edge must
+// BOTH collapse when the exit dies — a naive witness check would let them
+// vouch for each other forever.
+func TestDynReachCycleCollapse(t *testing.T) {
+	h := newMatrixHost(4, []NodeID{0})
+	h.add(1, 2)
+	h.add(2, 1)
+	h.add(2, 3)
+	h.add(3, 0)
+	h.check(t, "cycle with exit")
+	if !h.dr.Reached(1) || !h.dr.Reached(2) {
+		t.Fatal("cycle nodes should be reached through the exit")
+	}
+	h.remove(3, 0)
+	h.check(t, "exit removed")
+	if h.dr.Reached(1) || h.dr.Reached(2) {
+		t.Fatal("cycle nodes survived on a stale mutual witness")
+	}
+}
+
+// TestDynReachSpuriousEvents pins the over-reporting tolerance the change
+// streams rely on: events about edges that never changed, repeated events,
+// and events about irrelevant nodes must all be no-ops.
+func TestDynReachSpuriousEvents(t *testing.T) {
+	h := newMatrixHost(5, []NodeID{0})
+	h.add(1, 0)
+	h.add(2, 1)
+	h.check(t, "built")
+	// Spurious: invalidate nodes whose witnesses are intact, candidates
+	// that are already reached or have no live exit.
+	h.dr.Invalidate(1)
+	h.dr.Invalidate(2)
+	h.dr.Invalidate(4)
+	h.dr.Candidate(1)
+	h.dr.Candidate(3)
+	h.dr.Candidate(3)
+	h.check(t, "after spurious events")
+}
+
+// TestDynReachRandomized is the property gate: random digraph mutations,
+// occasional bulk rewires, and periodic Recomputes must track a scratch
+// reverse BFS exactly at every flush.
+func TestDynReachRandomized(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 20260808} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := rng.New(seed)
+			const n, rounds = 40, 400
+			h := newMatrixHost(n, []NodeID{0, 13})
+			for round := 0; round < rounds; round++ {
+				// A burst of mutations between flushes, like one world step.
+				burst := 1 + s.Intn(6)
+				for i := 0; i < burst; i++ {
+					u := NodeID(s.Intn(n))
+					v := NodeID(s.Intn(n))
+					if u == v {
+						continue
+					}
+					if h.adj[u][v] {
+						h.remove(u, v)
+					} else {
+						h.add(u, v)
+					}
+				}
+				if s.Intn(50) == 0 {
+					h.dr.Recompute(h.targets)
+				}
+				h.check(t, fmt.Sprintf("round %d", round))
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package network
+
+import "repro/internal/graph"
+
+// ConnTracker maintains ConnectivityToGateways incrementally: instead of a
+// fresh reverse BFS over the whole topology every step (O(N+E)), it feeds
+// a graph.DynReach witness forest from the world's per-step topology delta
+// stream, so steady-state steps cost O(churned edges + affected subtrees).
+// Steps the stream cannot enumerate — full rebuilds, fault epochs, missed
+// steps — fall back to one full recompute, which is exactly the scratch
+// BFS the non-incremental path pays every step. The reported fraction is
+// bit-identical to ConnectivityToGateways at every step, pinned by the
+// equivalence tests in this package.
+//
+// A tracker belongs to one world. It keeps its own reverse-adjacency
+// mirror (the graph's built-in reverse CSR is invalidated wholesale on any
+// mutation, so it is useless incrementally) and repairs it from the same
+// delta stream.
+type ConnTracker struct {
+	w      *World
+	deltas *TopoDeltas
+	dr     graph.DynReach
+	rev    [][]NodeID // dynamic reverse adjacency mirror of w.topo
+
+	lastEpoch int
+	lastStep  int
+	synced    bool
+	resyncs   int
+
+	orc graph.ReachOracle // bound once per Reset (closures capture t)
+}
+
+// NewConnTracker attaches a tracker to w and builds its initial state.
+func NewConnTracker(w *World) *ConnTracker {
+	t := &ConnTracker{}
+	t.Reset(w)
+	return t
+}
+
+// Reset rebinds the tracker to w (possibly a different world — pooled
+// harness state reuses trackers across runs) and forces a full resync at
+// the next Sync.
+func (t *ConnTracker) Reset(w *World) {
+	t.w = w
+	t.deltas = w.WatchTopology()
+	t.synced = false
+	t.resyncs = 0
+	if t.orc.LiveOut == nil {
+		// Bound once per tracker: binding in the per-step path would
+		// allocate closures there. The closures read t's current fields,
+		// so Reset rebinding t.w retargets them for free.
+		t.orc = t.oracle()
+	}
+}
+
+func (t *ConnTracker) oracle() graph.ReachOracle {
+	return graph.ReachOracle{
+		LiveOut: func(u NodeID, dst []NodeID) []NodeID {
+			return t.w.topo.Out(u)
+		},
+		LiveIn: func(v NodeID, dst []NodeID) []NodeID {
+			return t.rev[v]
+		},
+		HasLive: func(u, v NodeID) bool {
+			return t.w.topo.HasEdgeSorted(u, v)
+		},
+		// Countable mirrors ConnectivityToGateways' denominator: raw
+		// non-gateways (a downed gateway stays excluded — it still isn't a
+		// route target for anyone else and never counts itself) that are
+		// not dead. Changes only at fault epochs, which force a resync.
+		Countable: func(u NodeID) bool {
+			if t.w.isGateway[u] {
+				return false
+			}
+			return t.w.flt == nil || !t.w.flt.dead[u]
+		},
+	}
+}
+
+// resync rebuilds the reverse mirror and the reach forest from the current
+// world state — the full-recompute fallback, same asymptotic cost as one
+// scratch ConnectivityToGateways call.
+func (t *ConnTracker) resync() {
+	w := t.w
+	n := w.N()
+	t.lastEpoch = w.FaultEpoch()
+	t.lastStep = w.StepCount()
+	t.synced = true
+	t.resyncs++
+	if cap(t.rev) < n {
+		t.rev = make([][]NodeID, n)
+	}
+	t.rev = t.rev[:n]
+	for v := range t.rev {
+		t.rev[v] = t.rev[v][:0]
+	}
+	topo := w.topo
+	for u := 0; u < n; u++ {
+		for _, v := range topo.Out(NodeID(u)) {
+			t.rev[v] = appendSlack(t.rev[v], NodeID(u))
+		}
+	}
+	t.dr.Reset(n, t.orc)
+	t.dr.Recompute(w.Gateways())
+}
+
+// Sync brings the tracker up to date with the world: incremental when the
+// delta stream covers everything since the last Sync, a full resync
+// otherwise (rebuilt topology, fault epoch, missed steps, first use).
+func (t *ConnTracker) Sync() {
+	w := t.w
+	d := t.deltas
+	if t.synced && !d.Rebuilt && w.StepCount() == t.lastStep && w.FaultEpoch() == t.lastEpoch {
+		return
+	}
+	if !t.synced || d.Rebuilt || d.Step != w.StepCount() || d.Step != t.lastStep+1 ||
+		w.FaultEpoch() != t.lastEpoch {
+		t.resync()
+		return
+	}
+	for i := range d.RemU {
+		u, v := d.RemU[i], d.RemV[i]
+		t.revRemove(u, v)
+		t.dr.Invalidate(u)
+	}
+	for i := range d.AddU {
+		u, v := d.AddU[i], d.AddV[i]
+		t.rev[v] = appendSlack(t.rev[v], u)
+		t.dr.Candidate(u)
+	}
+	t.dr.Flush()
+	t.lastStep = d.Step
+}
+
+// appendSlack appends with headroom: rows grow to 2·len+8 instead of the
+// tight doubling append would give from tiny caps. Mirror rows track node
+// in-degrees, whose high-water marks drift upward slowly for hundreds of
+// steps as movers wander through dense regions — slack keeps that drift
+// inside existing capacity, so steady-state steps stay allocation-free.
+func appendSlack(row []NodeID, u NodeID) []NodeID {
+	if len(row) == cap(row) {
+		grown := make([]NodeID, len(row), 2*len(row)+8)
+		copy(grown, row)
+		row = grown
+	}
+	return append(row, u)
+}
+
+// revRemove drops one occurrence of u from v's reverse-adjacency row.
+// Spurious stream entries may name an edge the mirror never held; those
+// just scan and leave the row untouched (matching the graph's own no-op).
+func (t *ConnTracker) revRemove(u, v NodeID) {
+	row := t.rev[v]
+	for i, x := range row {
+		if x == u {
+			row[i] = row[len(row)-1]
+			t.rev[v] = row[:len(row)-1]
+			return
+		}
+	}
+}
+
+// Connectivity returns ConnectivityToGateways' value, maintained
+// incrementally. Degenerate cases replicate the scratch path exactly, in
+// the same order.
+func (t *ConnTracker) Connectivity() float64 {
+	t.Sync()
+	w := t.w
+	if len(w.Gateways()) == 0 {
+		return 0
+	}
+	if w.flt != nil && w.flt.aliveCount == 0 {
+		return 0
+	}
+	if t.dr.CountableTotal() == 0 {
+		return 1
+	}
+	return float64(t.dr.Count()) / float64(t.dr.CountableTotal())
+}
+
+// Resyncs returns how many full recomputes the tracker has performed since
+// Reset (first use included) — the fallback counter the harness metrics
+// and the degradation tests read.
+func (t *ConnTracker) Resyncs() int { return t.resyncs }

@@ -352,6 +352,12 @@ func (w *World) advanceDecay() {
 func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
 	t := w.incr
 	g := w.topo
+	// Topology watchers receive every edit this function decides on.
+	// Class-3 emissions mirror the churn counters (recorded at decision
+	// time, unconditionally); the success-gated classes emit inside their
+	// success branches. Either way the stream may only over-report, which
+	// the TopoDeltas contract allows.
+	dl := w.watch
 	maxR2 := w.maxRange * w.maxRange
 	// Every candidate relevant to a moved node v lies within
 	// maxRange+maxDisp of v's OLD position (see the coverage argument in
@@ -428,9 +434,15 @@ func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
 						if dNew <= cr2v {
 							g.InsertEdgeSorted(v, wi)
 							added++
+							if dl != nil {
+								dl.add(v, wi)
+							}
 						} else {
 							g.RemoveEdgeSorted(v, wi)
 							removed++
+							if dl != nil {
+								dl.remove(v, wi)
+							}
 						}
 					}
 					rw := r2[wi]
@@ -439,9 +451,15 @@ func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
 						if wantIn {
 							g.InsertEdgeSorted(wi, v)
 							added++
+							if dl != nil {
+								dl.add(wi, v)
+							}
 						} else {
 							g.RemoveEdgeSorted(wi, v)
 							removed++
+							if dl != nil {
+								dl.remove(wi, v)
+							}
 						}
 					}
 					if wantIn && t.decays[wi] && !t.isMobile[wi] {
@@ -468,6 +486,9 @@ func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
 				}
 				if g.RemoveEdgeSorted(lst[k].src, NodeID(vi)) {
 					removed++
+					if dl != nil {
+						dl.remove(lst[k].src, NodeID(vi))
+					}
 				}
 				lst[k] = lst[len(lst)-1]
 				lst = lst[:len(lst)-1]
@@ -490,6 +511,9 @@ func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
 		for _, tv := range t.outBuf {
 			if g.RemoveEdgeSorted(NodeID(vi), tv) {
 				removed++
+				if dl != nil {
+					dl.remove(NodeID(vi), tv)
+				}
 			}
 		}
 	}
@@ -505,6 +529,9 @@ func (w *World) applyChurn(maxDisp float64) (added, removed uint64) {
 		for dc.cursor < len(dc.d2) && (r <= 0 || dc.d2[dc.cursor] > r2) {
 			if g.RemoveEdgeSorted(dc.src, dc.dst[dc.cursor]) {
 				removed++
+				if dl != nil {
+					dl.remove(dc.src, dc.dst[dc.cursor])
+				}
 			}
 			dc.cursor++
 		}

@@ -74,6 +74,11 @@ type World struct {
 	// mobility, decay, faults, or topology maintenance.
 	traj *trajDecoder
 
+	// watch, when non-nil, is the per-step topology delta stream attached
+	// by WatchTopology (see deltas.go): every stepping path either
+	// enumerates its edge edits into it or marks it Rebuilt.
+	watch *TopoDeltas
+
 	m        worldMetrics
 	diffMark []int32 // per-node stamp scratch for the instrumented edge diff
 	diffGen  int32
@@ -243,6 +248,9 @@ func (w *World) Step() {
 	}
 	w.step++
 	w.m.steps.Inc()
+	if w.watch != nil {
+		w.watch.reset(w.step)
+	}
 	if f := w.flt; f != nil {
 		// Fault steps — and every step while a partition is active on a
 		// dynamic world — run the mask-aware full rebuild; the incremental
@@ -323,6 +331,13 @@ func (w *World) stepFullRebuild() {
 // Grid cells visit each node exactly once and exclude the centre node, so
 // the neighbour lists are duplicate- and self-loop-free as SetOut requires.
 func (w *World) rebuildTopology() {
+	if w.watch != nil {
+		// Wholesale rewrite: watchers cannot enumerate the change, so they
+		// must resync. Sticky until the next Step resets the buffer, which
+		// also covers out-of-band rebuilds (SetFaults detach, snapshot
+		// restore) that happen between steps.
+		w.watch.Rebuilt = true
+	}
 	n := w.N()
 	w.topoIdx ^= 1
 	g := w.topoBuf[w.topoIdx]

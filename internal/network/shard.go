@@ -66,16 +66,23 @@ type edgeOp struct {
 
 // worldShard is one band's working state.
 type worldShard struct {
-	mobile   []int32  // owned mobility-capable ids this step, ascending
-	scan     []int32  // owned ids that moved this step, ascending
-	cursors  []int32  // indices into incr.decay owned by this band
-	ops      []edgeOp // halo buffer: P1 cross-band edits, in scan order
-	rmOps    []edgeOp // halo buffer: P2 cross-band class-4 removals
-	outBuf   []int32  // class-5 out-walk scratch
-	maxDisp2 float64
-	added    uint64
-	removed  uint64
-	mDelta   int
+	mobile  []int32  // owned mobility-capable ids this step, ascending
+	scan    []int32  // owned ids that moved this step, ascending
+	cursors []int32  // indices into incr.decay owned by this band
+	ops     []edgeOp // halo buffer: P1 cross-band edits, in scan order
+	rmOps   []edgeOp // halo buffer: P2 cross-band class-4 removals
+	outBuf  []int32  // class-5 out-walk scratch
+	// Topology-watch capture, filled only while a watcher is attached:
+	// this band's decided edits, folded serially into the watch buffer at
+	// the end of the step. Halo ops are captured at decision time too
+	// (before the merge applies them), which can over-report — allowed by
+	// the TopoDeltas contract.
+	dAddU, dAddV []NodeID
+	dRemU, dRemV []NodeID
+	maxDisp2     float64
+	added        uint64
+	removed      uint64
+	mDelta       int
 }
 
 // shardState is the per-world state of sharded stepping (nil when
@@ -180,6 +187,8 @@ func (w *World) stepSharded() {
 		sh.scan = sh.scan[:0]
 		sh.ops = sh.ops[:0]
 		sh.rmOps = sh.rmOps[:0]
+		sh.dAddU, sh.dAddV = sh.dAddU[:0], sh.dAddV[:0]
+		sh.dRemU, sh.dRemV = sh.dRemU[:0], sh.dRemV[:0]
 		sh.maxDisp2 = 0
 		sh.added, sh.removed, sh.mDelta = 0, 0, 0
 	}
@@ -254,6 +263,18 @@ func (w *World) stepSharded() {
 	}
 	w.topo.AddM(mDelta)
 	w.topo.InvalidateIn()
+	if dl := w.watch; dl != nil {
+		// Fold the per-band captures into the watch buffer, band order.
+		for b := range st.shards {
+			sh := &st.shards[b]
+			for i := range sh.dAddU {
+				dl.add(sh.dAddU[i], sh.dAddV[i])
+			}
+			for i := range sh.dRemU {
+				dl.remove(sh.dRemU[i], sh.dRemV[i])
+			}
+		}
+	}
 	sp.Stop()
 	w.m.linksAdded.Add(added)
 	w.m.linksRemoved.Add(removed)
@@ -309,6 +330,7 @@ func (w *World) scanShard(b int) {
 	moved, prevPos, r2 := t.moved, t.prevPos, t.r2
 	bandOf := st.bandOf
 	me := int32(b)
+	watching := w.watch != nil
 	for _, vi := range sh.scan {
 		v := NodeID(vi)
 		pOld, pNew := t.prevPos[vi], w.pos[vi]
@@ -352,10 +374,18 @@ func (w *World) scanShard(b int) {
 							g.InsertEdgeSortedLocal(v, wi)
 							sh.mDelta++
 							sh.added++
+							if watching {
+								sh.dAddU = append(sh.dAddU, v)
+								sh.dAddV = append(sh.dAddV, wi)
+							}
 						} else {
 							g.RemoveEdgeSortedLocal(v, wi)
 							sh.mDelta--
 							sh.removed++
+							if watching {
+								sh.dRemU = append(sh.dRemU, v)
+								sh.dRemV = append(sh.dRemV, wi)
+							}
 						}
 					}
 					// w→v: row w is owned only if w sits in this band;
@@ -382,6 +412,15 @@ func (w *World) scanShard(b int) {
 								sh.removed++
 							}
 						}
+						if watching {
+							if wantIn {
+								sh.dAddU = append(sh.dAddU, wi)
+								sh.dAddV = append(sh.dAddV, v)
+							} else {
+								sh.dRemU = append(sh.dRemU, wi)
+								sh.dRemV = append(sh.dRemV, v)
+							}
+						}
 					}
 					if wantIn && t.decays[wi] && !t.isMobile[wi] {
 						ins = append(ins, inSrc{src: NodeID(wi), d2: dNew})
@@ -405,6 +444,7 @@ func (w *World) expireShard(b int) {
 	g := w.topo
 	bandOf := st.bandOf
 	me := int32(b)
+	watching := w.watch != nil
 	for _, vi := range sh.mobile {
 		if t.moved[vi] {
 			continue
@@ -423,6 +463,10 @@ func (w *World) expireShard(b int) {
 					}
 				} else {
 					sh.rmOps = append(sh.rmOps, edgeOp{u: src, v: NodeID(vi)})
+				}
+				if watching {
+					sh.dRemU = append(sh.dRemU, src)
+					sh.dRemV = append(sh.dRemV, NodeID(vi))
 				}
 				lst[k] = lst[len(lst)-1]
 				lst = lst[:len(lst)-1]
@@ -444,6 +488,10 @@ func (w *World) expireShard(b int) {
 			if g.RemoveEdgeSortedLocal(NodeID(vi), tv) {
 				sh.removed++
 				sh.mDelta--
+				if watching {
+					sh.dRemU = append(sh.dRemU, NodeID(vi))
+					sh.dRemV = append(sh.dRemV, tv)
+				}
 			}
 		}
 	}
@@ -455,6 +503,10 @@ func (w *World) expireShard(b int) {
 			if g.RemoveEdgeSortedLocal(dc.src, dc.dst[dc.cursor]) {
 				sh.removed++
 				sh.mDelta--
+				if watching {
+					sh.dRemU = append(sh.dRemU, dc.src)
+					sh.dRemV = append(sh.dRemV, dc.dst[dc.cursor])
+				}
 			}
 			dc.cursor++
 		}

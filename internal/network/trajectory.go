@@ -500,6 +500,9 @@ func (w *World) StepFromTrajectory() {
 	}
 	w.step++
 	w.m.steps.Inc()
+	if w.watch != nil {
+		w.watch.reset(w.step)
+	}
 	has, err := c.next()
 	if err != nil {
 		// Trajectories are validated at build/unmarshal time; reaching this
@@ -525,6 +528,18 @@ func (w *World) StepFromTrajectory() {
 		w.m.linksAdded.Add(uint64(len(c.addU)))
 		w.m.linksRemoved.Add(uint64(len(c.remU)))
 		w.m.edges.Set(float64(w.topo.M()))
+		if dl := w.watch; dl != nil {
+			// Recorded deltas are exact diffs, so replay keeps watchers
+			// incremental even across fault steps (the recording diffed the
+			// topology straight through the live rebuild). A fault record
+			// still forces a resync via the epoch advance consumers track.
+			for i := range c.addU {
+				dl.add(NodeID(c.addU[i]), NodeID(c.addV[i]))
+			}
+			for i := range c.remU {
+				dl.remove(NodeID(c.remU[i]), NodeID(c.remV[i]))
+			}
+		}
 	}
 	if c.faultRec {
 		w.applyTrajFault(c.dead, c.gwDown, c.part, c.partX, c.injected, c.recovered)

@@ -1,0 +1,341 @@
+package routing
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netgen"
+	"repro/internal/network"
+	"repro/internal/rng"
+)
+
+// meterSchedules returns the fault workloads the measurement-equivalence
+// tests drive: every preset plus the clean run.
+func meterSchedules(t *testing.T, steps int) map[string]*faults.Schedule {
+	t.Helper()
+	w, err := netgen.Generate(testSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*faults.Schedule{"clean": nil}
+	for _, name := range faults.PresetNames() {
+		s, err := faults.Preset(name, w.N(), w.Gateways(), steps, 4242)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["preset-"+name] = s
+	}
+	return out
+}
+
+// TestMeterMatchesFullMeasure is the tentpole acceptance gate: a run
+// measured incrementally must be bit-identical — every per-step series
+// value and every aggregate — to the same run measured by the scratch
+// path, under every fault preset and every stepping engine.
+func TestMeterMatchesFullMeasure(t *testing.T) {
+	const steps = 100
+	engines := map[string]struct {
+		rebuild bool
+		shards  int
+	}{
+		"incremental": {},
+		"rebuild":     {rebuild: true},
+		"sharded-3":   {shards: 3},
+	}
+	for sname, sched := range meterSchedules(t, steps) {
+		for ename, eng := range engines {
+			t.Run(sname+"/"+ename, func(t *testing.T) {
+				sc := Scenario{
+					Agents: 25, Communicate: true, Steps: steps, MeasureFrom: 30,
+					Faults: sched, ShardWorkers: eng.shards,
+				}
+				run := func(full bool) Result {
+					w, err := netgen.Generate(testSpec(), 11)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if eng.rebuild {
+						w.SetFullRebuild(true)
+					}
+					s := sc
+					s.FullMeasure = full
+					res, err := Run(w, s, 99)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				inc, full := run(false), run(true)
+				if !reflect.DeepEqual(inc, full) {
+					for i := range full.Connectivity {
+						if inc.Connectivity[i] != full.Connectivity[i] ||
+							inc.EndToEnd[i] != full.EndToEnd[i] ||
+							inc.Ideal[i] != full.Ideal[i] ||
+							inc.Staleness[i] != full.Staleness[i] {
+							t.Fatalf("first divergence at step %d:\nincr local=%v e2e=%v ideal=%v stale=%v\nfull local=%v e2e=%v ideal=%v stale=%v",
+								i, inc.Connectivity[i], inc.EndToEnd[i], inc.Ideal[i], inc.Staleness[i],
+								full.Connectivity[i], full.EndToEnd[i], full.Ideal[i], full.Staleness[i])
+						}
+					}
+					t.Fatal("results diverge outside the series (aggregates)")
+				}
+			})
+		}
+	}
+}
+
+// TestMeterRunManyGrids checks the incremental path through both batch
+// runners at every worker setting: aggregates must be bit-identical to the
+// FullMeasure baseline, and to each other across the grid.
+func TestMeterRunManyGrids(t *testing.T) {
+	const steps, runs = 80, 3
+	sched := testFaultSchedule(t, steps)
+	base := Scenario{
+		Agents: 25, Communicate: true, Steps: steps, MeasureFrom: 30,
+		Faults: sched,
+	}
+	full := base
+	full.FullMeasure = true
+	want, err := RunMany(freshWorld(11), full, runs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range []int{1, 4} {
+		for _, sw := range []int{1, 2} {
+			sc := base
+			sc.RunWorkers, sc.ShardWorkers = rw, sw
+			got, err := RunMany(freshWorld(11), sc, runs, 99)
+			if err != nil {
+				t.Fatalf("runworkers=%d shardworkers=%d: %v", rw, sw, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("runworkers=%d shardworkers=%d: incremental aggregate diverges from FullMeasure baseline", rw, sw)
+			}
+		}
+	}
+	cached, err := RunManyCached(func() (*network.World, error) { return netgen.Generate(testSpec(), 11) }, base, runs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, want) {
+		t.Error("RunManyCached (trajectory replay) aggregate diverges from FullMeasure baseline")
+	}
+}
+
+// scratchQuad is the reference measurement: the four metrics computed from
+// scratch, exactly as the FullMeasure path does.
+func scratchQuad(w *network.World, ts *Tables, s *Scratch, step int) Measurement {
+	return Measurement{
+		Local:     LocalConnectivity(w, ts),
+		EndToEnd:  s.Connectivity(w, ts),
+		Ideal:     w.ConnectivityToGateways(),
+		Staleness: Staleness(w, ts, step),
+	}
+}
+
+// TestMeterPropertyRandomMutations is the satellite property test: the
+// meter is driven outside the harness by arbitrary interleavings of table
+// Updates, DropIf purges, world steps, fault epochs, and skipped
+// measurements — and must match the scratch quadruple at every probe.
+func TestMeterPropertyRandomMutations(t *testing.T) {
+	const steps = 150
+	for _, seed := range []uint64{1, 7, 20260808} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w, err := netgen.Generate(testSpec(), 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := faults.Preset("blackout", w.N(), w.Gateways(), steps, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.SetFaults(sched)
+			n := w.N()
+			gws := w.Gateways()
+			ts := NewTables(n, 3)
+			meter := NewMeter(w, ts)
+			var scratch Scratch
+			s := rng.New(seed)
+			for step := 0; step < steps; step++ {
+				writes := s.Intn(40)
+				for i := 0; i < writes; i++ {
+					u := NodeID(s.Intn(n))
+					ts.Update(u, network.Entry{
+						Gateway: gws[s.Intn(len(gws))],
+						NextHop: NodeID(s.Intn(n)),
+						Hops:    1 + s.Intn(9),
+						Updated: step - s.Intn(4),
+					})
+				}
+				if s.Intn(10) == 0 {
+					hops := 1 + s.Intn(9)
+					for u := 0; u < n; u++ {
+						ts.DropIf(NodeID(u), func(e network.Entry) bool { return e.Hops >= hops })
+					}
+				}
+				// Occasionally skip a step's measurement entirely, forcing
+				// the missed-step resync path.
+				if s.Intn(8) != 0 {
+					got := meter.Measure(step)
+					want := scratchQuad(w, ts, &scratch, step)
+					if got != want {
+						t.Fatalf("step %d: meter %+v, scratch %+v", step, got, want)
+					}
+				}
+				w.Step()
+			}
+			if meter.Resyncs() >= steps {
+				t.Fatal("meter resynced every step — incremental path never exercised")
+			}
+		})
+	}
+}
+
+// TestMeterStaysIncremental pins the control flow on a clean run: with no
+// faults and a measurement every step, the meter must resync exactly once.
+func TestMeterStaysIncremental(t *testing.T) {
+	const steps = 120
+	w, err := netgen.Generate(testSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.N()
+	gws := w.Gateways()
+	ts := NewTables(n, 2)
+	meter := NewMeter(w, ts)
+	s := rng.New(5)
+	for step := 0; step < steps; step++ {
+		for i := 0; i < 10; i++ {
+			ts.Update(NodeID(s.Intn(n)), network.Entry{
+				Gateway: gws[s.Intn(len(gws))], NextHop: NodeID(s.Intn(n)),
+				Hops: 1 + s.Intn(9), Updated: step,
+			})
+		}
+		meter.Measure(step)
+		w.Step()
+	}
+	if got := meter.Resyncs(); got != 1 {
+		t.Fatalf("Resyncs() = %d on a clean run, want 1", got)
+	}
+}
+
+// TestMeterSteadyStateAllocs pins the zero-allocation property: once
+// warmed up, a measure step (table writes + world step + Measure) must not
+// allocate.
+func TestMeterSteadyStateAllocs(t *testing.T) {
+	w, err := netgen.Generate(testSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.N()
+	gws := w.Gateways()
+	ts := NewTables(n, 2)
+	meter := NewMeter(w, ts)
+	s := rng.New(5)
+	step := 0
+	iter := func() {
+		for i := 0; i < 16; i++ {
+			ts.Update(NodeID(s.Intn(n)), network.Entry{
+				Gateway: gws[s.Intn(len(gws))], NextHop: NodeID(s.Intn(n)),
+				Hops: 1 + s.Intn(9), Updated: step,
+			})
+		}
+		meter.Measure(step)
+		w.Step()
+		step++
+	}
+	for i := 0; i < 300; i++ {
+		iter() // warm-up: grow every buffer to its steady-state footprint
+	}
+	if avg := testing.AllocsPerRun(100, iter); avg != 0 {
+		t.Fatalf("measure step allocates %.1f times in steady state, want 0", avg)
+	}
+}
+
+// TestReachSetCallerOwned pins the pooled package helper's contract: the
+// returned slice is the caller's copy, untouched by later calls.
+func TestReachSetCallerOwned(t *testing.T) {
+	w, err := netgen.Generate(testSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTables(w.N(), 2)
+	for u := 0; u < w.N(); u++ {
+		for _, v := range w.Topology().Out(NodeID(u)) {
+			if w.IsGateway(v) {
+				ts.Update(NodeID(u), network.Entry{Gateway: v, NextHop: v, Hops: 1, Updated: 0})
+			}
+		}
+	}
+	first := ReachSet(w, ts)
+	snapshot := make([]bool, len(first))
+	copy(snapshot, first)
+	for i := 0; i < 3; i++ {
+		ReachSet(w, ts) // reuses the pooled scratch; must not alias first
+	}
+	if !reflect.DeepEqual(first, snapshot) {
+		t.Fatal("ReachSet result mutated by subsequent calls — pooled scratch leaked to the caller")
+	}
+}
+
+// FuzzMeterEquivalence feeds arbitrary byte-driven op sequences (writes,
+// purges, steps, skipped probes) to a meter over a small faulted world and
+// demands scratch equality at every probe.
+func FuzzMeterEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(1))
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x10, 0x20}, uint64(7))
+	spec := netgen.Spec{
+		N: 40, TargetEdges: 240, ArenaSide: 40, RangeSpread: 0.25,
+		Mobility: netgen.MobilityRandom, MobileFraction: 0.5,
+		MinSpeed: 0.1, MaxSpeed: 0.5, Gateways: 3, RangeBoost: 1.5,
+	}
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		if len(ops) == 0 || len(ops) > 512 {
+			return
+		}
+		w, err := netgen.Generate(spec, 1+seed%16)
+		if err != nil {
+			return
+		}
+		sched, err := faults.Preset("churn", w.N(), w.Gateways(), 64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetFaults(sched)
+		n := w.N()
+		gws := w.Gateways()
+		ts := NewTables(n, 2)
+		meter := NewMeter(w, ts)
+		var scratch Scratch
+		step := 0
+		for i := 0; i+3 < len(ops); i += 4 {
+			a, b, c, d := int(ops[i]), int(ops[i+1]), int(ops[i+2]), int(ops[i+3])
+			switch a % 4 {
+			case 0:
+				ts.Update(NodeID(b%n), network.Entry{
+					Gateway: gws[c%len(gws)], NextHop: NodeID(d % n),
+					Hops: 1 + c%9, Updated: step,
+				})
+			case 1:
+				limit := 1 + d%9
+				ts.DropIf(NodeID(b%n), func(e network.Entry) bool { return e.Hops >= limit })
+			case 2:
+				w.Step()
+				step++
+			case 3:
+				got := meter.Measure(step)
+				want := scratchQuad(w, ts, &scratch, step)
+				if got != want {
+					t.Fatalf("op %d (step %d): meter %+v, scratch %+v", i, step, got, want)
+				}
+			}
+		}
+		got := meter.Measure(step)
+		want := scratchQuad(w, ts, &scratch, step)
+		if got != want {
+			t.Fatalf("final (step %d): meter %+v, scratch %+v", step, got, want)
+		}
+	})
+}

@@ -115,6 +115,11 @@ type Scenario struct {
 	// updated outside every RNG consumption path, so attaching a registry
 	// cannot change seeded results. nil disables with near-zero overhead.
 	Metrics *metrics.Registry
+	// FullMeasure forces the legacy full-recompute measurement path (one
+	// scratch BFS per metric per step) instead of the incremental Meter.
+	// The two paths are bit-identical at every step — this knob exists for
+	// performance comparison and differential testing, not correctness.
+	FullMeasure bool
 }
 
 // StrandedPolicy selects the fate of agents standing on a node when a
@@ -195,9 +200,16 @@ type Result struct {
 	Overhead core.Overhead
 }
 
-// Tables is the per-node routing state agents maintain.
+// Tables is the per-node routing state agents maintain. When write
+// tracking is enabled (a Meter does so), every mutation through Update or
+// DropIf marks the written node on a dirty list the meter drains; direct
+// writes through At() bypass tracking and must not be mixed with a Meter.
 type Tables struct {
 	tables []*network.Table
+
+	track bool
+	dirty []NodeID
+	mark  []bool // mark[u]: u already on dirty
 }
 
 // NewTables builds empty tables for n nodes with the given per-table
@@ -210,8 +222,63 @@ func NewTables(n, capacity int) *Tables {
 	return ts
 }
 
-// At returns node u's table.
+// At returns node u's table. Mutations through the returned table are
+// invisible to write tracking; harness code uses Update/DropIf instead.
 func (ts *Tables) At(u NodeID) *network.Table { return ts.tables[u] }
+
+// Update applies e to node u's table (freshest-wins, see network.Table)
+// and reports whether the table changed, marking u dirty for any attached
+// meter when it did.
+func (ts *Tables) Update(u NodeID, e network.Entry) bool {
+	changed := ts.tables[u].Update(e)
+	if changed && ts.track {
+		ts.markDirty(u)
+	}
+	return changed
+}
+
+// DropIf removes node u's entries matching drop, returning the count and
+// marking u dirty for any attached meter when entries were removed.
+func (ts *Tables) DropIf(u NodeID, drop func(network.Entry) bool) int {
+	n := ts.tables[u].DropIf(drop)
+	if n > 0 && ts.track {
+		ts.markDirty(u)
+	}
+	return n
+}
+
+func (ts *Tables) markDirty(u NodeID) {
+	if !ts.mark[u] {
+		ts.mark[u] = true
+		ts.dirty = append(ts.dirty, u)
+	}
+}
+
+// setTracking turns write tracking on or off. Enabling sizes the mark set
+// for the current node count and clears any stale dirty state.
+func (ts *Tables) setTracking(on bool) {
+	ts.track = on
+	if !on {
+		return
+	}
+	n := len(ts.tables)
+	if cap(ts.mark) < n {
+		ts.mark = make([]bool, n)
+	}
+	ts.mark = ts.mark[:n]
+	for i := range ts.mark {
+		ts.mark[i] = false
+	}
+	ts.dirty = ts.dirty[:0]
+}
+
+// clearDirty empties the dirty list (meter-side, after draining it).
+func (ts *Tables) clearDirty() {
+	for _, u := range ts.dirty {
+		ts.mark[u] = false
+	}
+	ts.dirty = ts.dirty[:0]
+}
 
 // Evictions returns the total number of capacity evictions across all
 // node tables.
@@ -281,9 +348,20 @@ func Reaches(w *network.World, ts *Tables, u NodeID, maxWalk int, visited []bool
 // least one gateway"), which matches nodes retrying their table entries.
 // One reverse BFS from the gateway set makes this O(N + entries).
 func ReachSet(w *network.World, ts *Tables) []bool {
-	var s Scratch
-	return s.ReachSet(w, ts)
+	s := scratchPool.Get().(*Scratch)
+	seen := s.ReachSet(w, ts)
+	// The scratch's seen buffer goes back into the pool; hand the caller
+	// its own copy (the documented package-level contract).
+	out := make([]bool, len(seen))
+	copy(out, seen)
+	scratchPool.Put(s)
+	return out
 }
+
+// scratchPool recycles the package-level helpers' BFS scratch, so casual
+// ReachSet/Connectivity callers (baselines, traffic harness, tests) stop
+// re-growing CSR buffers on every call.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // Scratch carries the reusable buffers of the per-step connectivity
 // metrics: the table-induced reverse adjacency in CSR form, the BFS seen
@@ -444,8 +522,10 @@ func Staleness(w *network.World, ts *Tables, step int) float64 {
 // Connectivity returns the fraction of non-gateway nodes that currently
 // reach a gateway through the tables (see ReachSet).
 func Connectivity(w *network.World, ts *Tables) float64 {
-	var s Scratch
-	return s.Connectivity(w, ts)
+	s := scratchPool.Get().(*Scratch)
+	v := s.Connectivity(w, ts)
+	scratchPool.Put(s)
+	return v
 }
 
 // runMetrics bundles the routing harness's instrument handles. The zero
@@ -478,6 +558,8 @@ type runMetrics struct {
 	connIdeal metrics.Gauge
 	staleness metrics.Gauge
 
+	measResyncs metrics.Counter
+
 	prevOverhead core.Overhead
 	prevEvict    int
 }
@@ -508,6 +590,8 @@ func newRunMetrics(r *metrics.Registry) runMetrics {
 		connE2E:   r.Gauge("routing_connectivity_end_to_end"),
 		connIdeal: r.Gauge("routing_connectivity_ideal"),
 		staleness: r.Gauge("routing_route_staleness"),
+
+		measResyncs: r.Counter("routing_measure_resyncs_total"),
 	}
 }
 
@@ -544,6 +628,7 @@ type runState struct {
 	grouper *core.Grouper
 	scratch Scratch
 	tables  Tables
+	meter   Meter
 }
 
 // statePool recycles runState across runs and executor workers.
@@ -568,6 +653,10 @@ func (st *runState) reset(n, agents, capacity int) {
 // reset prepares ts for a fresh run over n nodes with per-table capacity,
 // reusing table storage where possible.
 func (ts *Tables) reset(n, capacity int) {
+	// Tracking is per-run opt-in: the run's meter (if any) re-enables it
+	// after reset, sized for the new n.
+	ts.track = false
+	ts.dirty = ts.dirty[:0]
 	if cap(ts.tables) < n {
 		ts.tables = make([]*network.Table, n)
 	}
@@ -626,6 +715,14 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 	next := st.next
 	grouper := st.grouper
 	scratch := &st.scratch
+	// Measurement engine: incremental by default (bit-identical to the
+	// scratch path, pinned by the differential tests), full recompute on
+	// request. The meter enables write tracking on the run's tables.
+	var meter *Meter
+	if !sc.FullMeasure {
+		meter = &st.meter
+		meter.Reset(w, tables)
+	}
 	res := Result{
 		Connectivity: make([]float64, 0, sc.Steps),
 		EndToEnd:     make([]float64, 0, sc.Steps),
@@ -730,7 +827,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 			node := a.At
 			agent := a
 			a.DepositRoute(w.Neighbors(node), func(gw, hop NodeID, hops int) bool {
-				changed := tables.At(node).Update(network.Entry{
+				changed := tables.Update(node, network.Entry{
 					Gateway: gw, NextHop: hop, Hops: hops, Updated: step,
 				})
 				if changed && sc.Tracer != nil {
@@ -747,10 +844,18 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		m.syncCounts(agents, tables)
 		// Measure, then let the world move.
 		sp = m.measure.Start()
-		res.Connectivity = append(res.Connectivity, LocalConnectivity(w, tables))
-		res.EndToEnd = append(res.EndToEnd, scratch.Connectivity(w, tables))
-		res.Ideal = append(res.Ideal, w.ConnectivityToGateways())
-		res.Staleness = append(res.Staleness, Staleness(w, tables, step))
+		if meter != nil {
+			mm := meter.Measure(step)
+			res.Connectivity = append(res.Connectivity, mm.Local)
+			res.EndToEnd = append(res.EndToEnd, mm.EndToEnd)
+			res.Ideal = append(res.Ideal, mm.Ideal)
+			res.Staleness = append(res.Staleness, mm.Staleness)
+		} else {
+			res.Connectivity = append(res.Connectivity, LocalConnectivity(w, tables))
+			res.EndToEnd = append(res.EndToEnd, scratch.Connectivity(w, tables))
+			res.Ideal = append(res.Ideal, w.ConnectivityToGateways())
+			res.Staleness = append(res.Staleness, Staleness(w, tables, step))
+		}
 		sp.Stop()
 		m.connLocal.Set(res.Connectivity[len(res.Connectivity)-1])
 		m.connE2E.Set(res.EndToEnd[len(res.EndToEnd)-1])
@@ -778,6 +883,9 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 		return false
 	})
 
+	if meter != nil {
+		m.measResyncs.Add(uint64(meter.Resyncs()))
+	}
 	res.Mean = stats.WindowMean(res.Connectivity, sc.MeasureFrom, sc.Steps)
 	res.Std = stats.WindowStd(res.Connectivity, sc.MeasureFrom, sc.Steps)
 	res.MeanEndToEnd = stats.WindowMean(res.EndToEnd, sc.MeasureFrom, sc.Steps)
@@ -811,7 +919,7 @@ func run(w *network.World, sc Scenario, seed uint64, st *runState) (Result, erro
 func reactToFaults(w *network.World, sc Scenario, step int, tables *Tables, alive []*core.Agent, frng *rng.Stream, res *Result, m *runMetrics) []*core.Agent {
 	purged := 0
 	for u := 0; u < w.N(); u++ {
-		purged += tables.At(NodeID(u)).DropIf(func(e network.Entry) bool {
+		purged += tables.DropIf(NodeID(u), func(e network.Entry) bool {
 			return !w.Alive(e.NextHop) || !w.IsGateway(e.Gateway)
 		})
 	}

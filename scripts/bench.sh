@@ -17,7 +17,10 @@
 # tier (results/BENCH_trajectory.json, root copy BENCH_trajectory.json)
 # compares live incremental stepping against recorded-trajectory replay
 # at n=500/8000/100000 plus an end-to-end cached-vs-live sweep timing,
-# with a >=2x replay floor at n=8000.
+# with a >=2x replay floor at n=8000. The connectivity tier
+# (results/BENCH_connectivity.json, root copy BENCH_connectivity.json)
+# compares the full-scratch measurement phase against the incremental
+# meter at n=500/8000/100000, with >=3x and 0 allocs/op floors at n=8000.
 # Usage: scripts/bench.sh [benchtime]   (default 5x; `scripts/bench.sh 1x`
 # is the CI smoke run, which skips the sweep timing). The world-step
 # benchmarks default to 600 fixed iterations for stable per-step numbers;
@@ -323,6 +326,68 @@ if [ "$traj_benchtime" != "1x" ]; then
     END { print (rep + 0 > 0 && inc >= 2 * rep) ? 1 : 0 }' "$yraw")
   if [ "$floor_ok" != 1 ]; then
     echo "FAIL: trajectory replay is under the 2x floor vs live incremental stepping at n=8000" >&2
+    exit 1
+  fi
+fi
+
+# --- connectivity measurement: full scratch recompute vs incremental meter ---
+# mode=full recomputes LocalConnectivity, end-to-end Connectivity,
+# ConnectivityToGateways, and Staleness from scratch every step (the
+# pre-incremental measurement phase); mode=incr is the churn-proportional
+# Meter fed by the topology delta stream and table write tracking. The two
+# are bit-identical at every step (equivalence, property, and fuzz tests in
+# internal/routing), so the ratio is pure measurement cost. Acceptance
+# floors at n=8000: >=3x over full AND 0 allocs/op in steady state
+# (skipped on the 1x smoke).
+conn_benchtime="${WORLD_BENCHTIME:-600x}"
+if [ "$benchtime" = "1x" ]; then
+  conn_benchtime="1x"
+fi
+craw="$out/bench_connectivity.txt"
+cjson="$out/BENCH_connectivity.json"
+
+{
+  echo "# Connectivity measurement — full scratch recompute vs incremental meter"
+  echo "# host: $(nproc) CPU(s), $(go version | cut -d' ' -f3-)"
+  echo "# benchtime: $conn_benchtime"
+  go test -run '^$' -benchtime "$conn_benchtime" -benchmem \
+    -bench 'BenchmarkConnectivity/' .
+} | tee "$craw"
+
+awk '
+/^BenchmarkConnectivity/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (!(name in ns)) order[n++] = name
+  ns[name] = $3
+  allocs[name] = $7
+}
+END {
+  printf "[\n"
+  for (i = 0; i < n; i++) {
+    nm = order[i]
+    base = nm
+    sub(/mode=incr$/, "mode=full", base)
+    sp = (nm ~ /mode=incr$/ && ns[nm] + 0 > 0) ? ns[base] / ns[nm] : 1.0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"speedup_vs_full\": %.3f}%s\n", \
+      nm, ns[nm], allocs[nm], sp, (i < n - 1 ? "," : "")
+  }
+  printf "]\n"
+}' "$craw" > "$cjson"
+if [ "$out" = "results" ]; then
+  cp "$cjson" BENCH_connectivity.json
+  echo "wrote $cjson (copied to ./BENCH_connectivity.json)"
+else
+  echo "wrote $cjson"
+fi
+
+if [ "$conn_benchtime" != "1x" ]; then
+  conn_ok=$(awk '
+    /^BenchmarkConnectivity\/n=8000\/mode=full/ { full = $3 }
+    /^BenchmarkConnectivity\/n=8000\/mode=incr/ { inc = $3; ia = $7 }
+    END { print (inc + 0 > 0 && full >= 3 * inc && ia + 0 == 0) ? 1 : 0 }' "$craw")
+  if [ "$conn_ok" != 1 ]; then
+    echo "FAIL: incremental measurement at n=8000 missed its floor (need >=3x over full AND 0 allocs/op)" >&2
     exit 1
   fi
 fi

@@ -104,6 +104,18 @@ echo "== trajectory replay gate (cached-stepping equivalence + decode fuzz seeds
 go test -race -count=1 -run 'Trajectory|StepRecorder|RunManyCached|ReconstructAt' \
   ./internal/network ./internal/mapping ./internal/routing ./internal/replay
 
+echo "== incremental-measurement equivalence gate (-race)"
+# The churn-proportional measurement meter must report bit-identical
+# numbers to the full scratch recompute at every step — across fault
+# presets, stepping engines, worker grids, arbitrary table mutations, and
+# skipped measures. These run in the full -race suite above too, but they
+# pin the default measurement path of every routing run, so they get an
+# explicit named gate that fails loudly on its own.
+go test -race -count=1 \
+  -run 'MeterMatchesFullMeasure|MeterRunManyGrids|MeterPropertyRandomMutations|MeterSteadyStateAllocs|FuzzMeterEquivalence' \
+  ./internal/routing
+go test -race -count=1 -run 'ConnTracker|DynReach' ./internal/network ./internal/graph
+
 echo "== cached-sweep byte-identity gate (worldcache on/off, pointworkers 1 and 4)"
 # The whole point of the trajectory cache is that nobody can tell it is on:
 # for both scenarios, clean and faulted, the cached sweep's CSV must be
@@ -140,6 +152,8 @@ test -s "$benchout/BENCH_trace.json"
 grep -q '"jsonl_over_binary"' "$benchout/BENCH_trace.json"
 test -s "$benchout/BENCH_trajectory.json"
 grep -q '"speedup_vs_live"' "$benchout/BENCH_trajectory.json"
+test -s "$benchout/BENCH_connectivity.json"
+grep -q '"speedup_vs_full"' "$benchout/BENCH_connectivity.json"
 rm -rf "$benchout"
 
 echo "== metrics exposition smoke"
